@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures. The
+default scale is ``test`` (seconds per experiment); set
+``SLIMIO_BENCH_SCALE=bench`` for the fuller runs recorded in
+EXPERIMENTS.md.
+
+Every benchmark prints its paper-vs-measured report and asserts that
+the paper's *shape* holds (who wins, directions of deltas).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.scales import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("SLIMIO_BENCH_SCALE", "test"))
+
+
+def run_experiment(benchmark, fn, scale):
+    """Run one experiment under pytest-benchmark and report it."""
+    result = benchmark.pedantic(fn, args=(scale,), iterations=1, rounds=1)
+    print()
+    print(result.format())
+    failed = [d for d, ok in result.shape_checks if not ok]
+    assert not failed, f"paper-shape checks failed: {failed}"
+    return result

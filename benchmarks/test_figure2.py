@@ -1,0 +1,13 @@
+"""Regenerates Figure 2: snapshot time distribution and throughput."""
+
+from repro.bench.experiments import figure2a, figure2b
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure2a_time_distribution(benchmark, scale):
+    run_experiment(benchmark, figure2a, scale)
+
+
+def test_figure2b_throughput_analysis(benchmark, scale):
+    run_experiment(benchmark, figure2b, scale)

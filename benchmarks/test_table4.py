@@ -1,0 +1,9 @@
+"""Regenerates Table 4: overall evaluation, YCSB-A workload."""
+
+from repro.bench.experiments import table4
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table4_overall_ycsb(benchmark, scale):
+    run_experiment(benchmark, table4, scale)

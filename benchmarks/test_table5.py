@@ -1,0 +1,9 @@
+"""Regenerates Table 5: recovery time and throughput."""
+
+from repro.bench.experiments import table5
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table5_recovery(benchmark, scale):
+    run_experiment(benchmark, table5, scale)

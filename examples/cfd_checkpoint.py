@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""HPC scenario from the paper's introduction: CFD transient data.
+
+A computational-fluid-dynamics simulation advances in timesteps; every
+step produces intermediate field blocks (pressure/velocity per domain
+tile) that downstream ranks consume through the IMDB. The IMDB's
+persistence doubles as the checkpoint mechanism: a WAL absorbs each
+field update, and an On-Demand snapshot at checkpoint intervals gives a
+point-in-time restart image.
+
+This example runs the workflow on SlimIO, kills the "node" midway
+through an uncheckpointed interval (power loss), and restarts from
+flash — demonstrating that the recovered state is exactly the last
+durable prefix: the checkpointed timestep plus every WAL-covered
+update after it.
+
+    python examples/cfd_checkpoint.py
+"""
+
+import struct
+
+import numpy as np
+
+from repro import LoggingPolicy, SnapshotKind, build_slimio
+from repro.bench.scales import TEST_SCALE
+from repro.imdb import ClientOp
+
+TILES = 24            # domain decomposition: tiles per timestep
+TIMESTEPS = 12
+CHECKPOINT_EVERY = 4  # snapshot cadence
+FIELD_BYTES = 2048    # one tile's packed pressure+velocity block
+
+
+def field_block(step: int, tile: int) -> bytes:
+    """Deterministic synthetic field data for (step, tile)."""
+    rng = np.random.default_rng(step * 1000 + tile)
+    samples = rng.standard_normal(FIELD_BYTES // 8 - 1)
+    return struct.pack("<Q", step) + samples.tobytes()
+
+
+def tile_key(tile: int) -> bytes:
+    return b"field/tile/%04d" % tile
+
+
+def main():
+    scale = TEST_SCALE
+    system = build_slimio(
+        config=scale.system_config(gc_pressure=False,
+                                   policy=LoggingPolicy.ALWAYS,
+                                   trigger=False)
+    )
+    env = system.env
+    crash_at_step = 10  # mid-interval: after checkpoint at step 8
+    checkpoints = []
+
+    def simulation():
+        for step in range(TIMESTEPS):
+            for tile in range(TILES):
+                yield from system.server.execute(
+                    ClientOp("SET", tile_key(tile), field_block(step, tile))
+                )
+            if (step + 1) % CHECKPOINT_EVERY == 0:
+                proc = system.server.start_snapshot(SnapshotKind.ON_DEMAND)
+                stats = yield proc
+                checkpoints.append((step, stats.duration))
+                print(f"  step {step:2d}: checkpoint "
+                      f"({stats.written_bytes / 1024:.0f} KiB in "
+                      f"{stats.duration * 1e3:.1f} ms)")
+            if step + 1 == crash_at_step:
+                return  # the node dies here
+        raise AssertionError("unreachable in this demo")
+
+    print(f"running {TIMESTEPS} timesteps x {TILES} tiles, "
+          f"checkpoint every {CHECKPOINT_EVERY} steps, "
+          f"node loss after step {crash_at_step - 1}\n")
+    env.run(until=env.process(simulation(), name="cfd"))
+    system.crash()  # power loss: user-space state gone, flash persists
+
+    # --- restart: recover from the snapshot + WAL replay --------------
+    result = env.run(until=env.process(
+        system.recover(SnapshotKind.ON_DEMAND)))
+    system.stop()
+
+    recovered_steps = {
+        struct.unpack("<Q", v[:8])[0] for v in result.data.values()
+    }
+    print(f"\nrecovered {len(result.data)} tiles in "
+          f"{result.duration * 1e3:.1f} ms "
+          f"({result.throughput / 1e6:.0f} MB/s)")
+    print(f"tile timesteps present after restart: "
+          f"{sorted(recovered_steps)}")
+
+    # Always-Log means every acknowledged SET survived: all tiles must
+    # be at the last written step (crash hit between steps)
+    assert recovered_steps == {crash_at_step - 1}, recovered_steps
+    for tile in range(TILES):
+        assert result.data[tile_key(tile)] == field_block(
+            crash_at_step - 1, tile)
+    print("restart state verified: last acknowledged timestep intact, "
+          "zero data loss (Always-Log).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Design-space walk: which piece of SlimIO buys what?
+
+Runs the same write-heavy workload across a ladder of configurations
+between stock Redis and full SlimIO, isolating each design decision
+from §4 of the paper:
+
+    baseline            traditional path (F2FS, page cache, scheduler)
+    passthru, shared    io_uring passthru but ONE ring for WAL+snapshot
+    passthru, split     separate SQ/CQ pairs (write isolation, §4.1)
+    + no SQPOLL         split rings, but submissions pay a syscall
+    + FDP               split rings + placement IDs (§4.3) = full SlimIO
+
+    python examples/design_space.py
+"""
+
+from repro import LoggingPolicy, build_baseline, build_slimio
+from repro.bench.scales import TEST_SCALE
+from repro.workloads import RedisBenchWorkload
+
+LADDER = [
+    ("baseline (F2FS)", build_baseline, {}),
+    ("passthru, shared ring", build_slimio,
+     dict(fdp=False, shared_ring=True)),
+    ("passthru, split rings", build_slimio, dict(fdp=False)),
+    ("split rings, no SQPOLL", build_slimio, dict(fdp=False, sqpoll=False)),
+    ("full SlimIO (FDP)", build_slimio, {}),
+]
+
+
+def main():
+    scale = TEST_SCALE
+    print(f"{'configuration':24s} {'req/s':>9s} {'p999 (ms)':>10s} "
+          f"{'snap (ms)':>10s} {'WAF':>6s}")
+    print("-" * 64)
+    for name, builder, overrides in LADDER:
+        system = builder(config=scale.system_config(
+            gc_pressure=True, policy=LoggingPolicy.ALWAYS, **overrides))
+        workload = RedisBenchWorkload(
+            clients=16, total_ops=3000, key_count=400, value_size=4096,
+            snapshot_at_fraction=0.5)
+        rep = workload.run(system)
+        system.stop()
+        print(f"{name:24s} {rep.rps:>9,.0f} {rep.set_p999 * 1e3:>10.2f} "
+              f"{rep.mean_snapshot_time * 1e3:>10.1f} {rep.waf:>6.2f}")
+    print("\nEach rung isolates one §4 design decision; Always-Log is "
+          "used so the WAL path is on the critical path of every SET.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table3 [--scale test|bench]
+    python -m repro.bench all [--scale test|bench]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.scales import get_scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SlimIO paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. table3), 'all', or 'list'")
+    parser.add_argument("--scale", default="bench",
+                        help="scale preset: test | bench (default)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    scale = get_scale(args.scale)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    exit_code = 0
+    for name in names:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        t0 = time.time()
+        result = fn(scale)
+        elapsed = time.time() - t0
+        print(result.format())
+        print(f"\n(regenerated in {elapsed:.1f}s wall at scale "
+              f"'{scale.name}')\n")
+        if not result.shapes_hold:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

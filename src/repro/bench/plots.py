@@ -1,0 +1,74 @@
+"""ASCII rendering for figure-style results (no plotting deps).
+
+The paper's Figures 4 and 5 are RPS-vs-time line charts; this module
+renders the same series as terminal block charts so `python -m
+repro.bench figure4` shows the *shape* — the stable plateau, the GC
+nosedives, the snapshot windows — directly in the report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["spark", "timeline_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def spark(values: Sequence[float], vmax: float | None = None) -> str:
+    """One-line sparkline of ``values`` (zeros render as spaces)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    top = float(np.max(arr)) if vmax is None else vmax
+    if top <= 0:
+        return _BLOCKS[0] * arr.size
+    idx = np.clip(
+        np.ceil(arr / top * (len(_BLOCKS) - 1)), 0, len(_BLOCKS) - 1
+    ).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def timeline_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 8,
+) -> str:
+    """Multi-row block chart, one labelled band per series.
+
+    Each band shows ``height`` rows of the rate timeline, resampled to
+    ``width`` columns; all bands share one y-scale so systems are
+    visually comparable (as in the paper's stacked Figures 4/5).
+    """
+    if not series:
+        return "(no series)"
+    vmax = max(
+        float(np.max(rates)) if len(rates) else 0.0
+        for _, rates in series.values()
+    )
+    if vmax <= 0:
+        vmax = 1.0
+    out: list[str] = []
+    for name, (centers, rates) in series.items():
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.size == 0:
+            out.append(f"{name}: (empty)")
+            continue
+        # resample to the display width
+        cols = np.interp(
+            np.linspace(0, rates.size - 1, width),
+            np.arange(rates.size),
+            rates,
+        )
+        out.append(f"{name}  (peak {vmax:,.0f} req/s)")
+        levels = np.clip(cols / vmax * height, 0.0, height)
+        for row in range(height, 0, -1):
+            line = "".join(
+                "█" if lv >= row else ("▄" if lv >= row - 0.5 else " ")
+                for lv in levels
+            )
+            out.append("  |" + line)
+        out.append("  +" + "-" * width)
+    return "\n".join(out)

@@ -1,0 +1,81 @@
+"""Result containers and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "ExperimentResult"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment: str  # "Table 3", "Figure 4", ...
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    #: the values the paper reports, same headers where sensible
+    paper_reference: Optional[str] = None
+    #: observations about whether the paper's shape holds in this run
+    shape_checks: list[tuple[str, bool]] = field(default_factory=list)
+    notes: str = ""
+    #: raw series for figures: name -> (x array, y array)
+    series: dict = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def check(self, description: str, ok: bool) -> None:
+        self.shape_checks.append((description, bool(ok)))
+
+    @property
+    def shapes_hold(self) -> bool:
+        return all(ok for _, ok in self.shape_checks)
+
+    def format(self) -> str:
+        out = [f"== {self.experiment}: {self.title} ==", ""]
+        out.append(format_table(self.headers, self.rows))
+        if self.series:
+            from repro.bench.plots import timeline_chart
+
+            out += ["", timeline_chart(self.series)]
+        if self.paper_reference:
+            out += ["", "Paper reference:", self.paper_reference]
+        if self.shape_checks:
+            out.append("")
+            out.append("Shape checks:")
+            for desc, ok in self.shape_checks:
+                out.append(f"  [{'ok' if ok else 'MISS'}] {desc}")
+        if self.notes:
+            out += ["", self.notes]
+        return "\n".join(out)

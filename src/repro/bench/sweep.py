@@ -1,0 +1,87 @@
+"""Parameter sweeps: run a grid of configurations, collect a table.
+
+For sensitivity studies beyond the paper's point estimates — e.g. how
+the SlimIO advantage moves with value size, client count, or device
+over-provisioning. Results come back as rows of plain dicts and can be
+dumped to CSV for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["SweepResult", "sweep", "write_csv"]
+
+#: runner(params) -> dict of measured values
+Runner = Callable[[dict[str, Any]], dict[str, float]]
+
+
+@dataclass
+class SweepResult:
+    """All (params, measurements) rows of one sweep."""
+
+    param_names: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        return [r[name] for r in self.rows]
+
+    def best(self, metric: str, maximize: bool = True) -> dict[str, Any]:
+        if not self.rows:
+            raise ValueError("empty sweep")
+        pick = max if maximize else min
+        return pick(self.rows, key=lambda r: r[metric])
+
+    def format(self) -> str:
+        from repro.bench.report import format_table
+
+        if not self.rows:
+            return "(empty sweep)"
+        headers = list(self.rows[0].keys())
+        return format_table(headers, [[r[h] for h in headers]
+                                      for r in self.rows])
+
+
+def sweep(grid: dict[str, Iterable[Any]], runner: Runner,
+          on_error: str = "raise") -> SweepResult:
+    """Run ``runner`` for every point of the cartesian ``grid``.
+
+    ``on_error``: "raise" (default) or "skip" (record the failure in an
+    ``error`` column and continue — useful for grids that include
+    infeasible corners, e.g. WAL regions too small for the trigger).
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
+    names = list(grid.keys())
+    result = SweepResult(param_names=names)
+    for values in itertools.product(*(list(grid[n]) for n in names)):
+        params = dict(zip(names, values))
+        row: dict[str, Any] = dict(params)
+        try:
+            row.update(runner(dict(params)))
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            row["error"] = f"{type(exc).__name__}: {exc}"
+        result.rows.append(row)
+    return result
+
+
+def write_csv(result: SweepResult, path: str | Path) -> None:
+    """Dump a sweep to CSV (union of all row keys, stable order)."""
+    if not result.rows:
+        raise ValueError("empty sweep")
+    headers: list[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)

@@ -1,0 +1,298 @@
+"""System builders: the baseline stack and the SlimIO stack.
+
+``build_baseline`` assembles stock Redis on the traditional path:
+
+    clients → Server → WalManager → FileAppendSink → PosixFile
+                                   → FileSnapshotSink ┘
+    PosixFile → page cache → file system (EXT4/F2FS) → block layer →
+    conventional NVMe device
+
+``build_slimio`` assembles the paper's design:
+
+    clients → Server → WalManager → WalPath  (own SQ/CQ, SQPOLL)
+                                   → SnapshotPath (own SQ/CQ, SQPOLL)
+    both → NVMe passthru → FDP device (PID per lifetime)
+
+Both return a ``System`` handle exposing the server, the device, and a
+``recover()`` generator implementing the full §4.2 recovery procedure,
+so experiments and applications drive the two designs through one
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Generator, Optional
+
+from repro.core.lba import LbaSpaceManager, SlotRole
+from repro.core.metadata import MetadataStore
+from repro.core.paths import SlimIOSnapshotSource, SnapshotPath, WalPath
+from repro.core.placement import PlacementPolicy
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.imdb import KVStore, Server, ServerConfig
+from repro.kernel import (
+    BlockLayer,
+    CpuAccount,
+    Ext4,
+    F2fs,
+    KernelCosts,
+    PageCache,
+    PassthruQueuePair,
+)
+from repro.nvme import NvmeDevice
+from repro.persist import LoggingPolicy, SnapshotKind, WalManager, recover_store
+from repro.persist.compress import CompressionModel, Compressor
+from repro.persist.file_backends import (
+    FileAppendSink,
+    FileSnapshotSink,
+    FileSnapshotSource,
+)
+from repro.persist.recovery import RecoveryResult
+from repro.sim import Environment
+
+__all__ = [
+    "SystemConfig",
+    "BaselineSystem",
+    "SlimIOSystem",
+    "build_baseline",
+    "build_slimio",
+]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to stand up either system."""
+
+    geometry: FlashGeometry = field(
+        default_factory=lambda: FlashGeometry.scaled(mb=64)
+    )
+    nand: NandTiming = field(default_factory=NandTiming)
+    ftl: FtlConfig = field(default_factory=FtlConfig)
+    costs: KernelCosts = field(default_factory=KernelCosts)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    policy: LoggingPolicy = LoggingPolicy.PERIODICAL
+    wal_flush_interval: float = 1.0
+    #: Redis's AOF-buffer hard limit: write queries block above this
+    wal_buffer_limit_bytes: int = 32 * 1024 * 1024
+    compression_level: int = 1
+    compression: CompressionModel = field(default_factory=CompressionModel)
+
+    # baseline knobs
+    fs: str = "f2fs"  # "ext4" | "f2fs"
+    scheduler: str = "none"  # "none" | "sync-priority" | "mq-deadline"
+    dirty_limit_bytes: int = 8 * 1024 * 1024
+    fs_extent_pages: int = 256
+
+    # SlimIO knobs
+    sqpoll: bool = True
+    fdp: bool = True
+    #: ablation: snapshot traffic shares the WAL-Path ring instead of
+    #: getting its own SQ/CQ pair (defeats §4.1's write isolation)
+    shared_ring: bool = False
+    placement: PlacementPolicy = field(default_factory=PlacementPolicy)
+    snapshot_fraction: float = 0.45
+    recovery_readahead_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if self.fs not in ("ext4", "f2fs"):
+            raise ValueError("fs must be ext4 or f2fs")
+        if self.scheduler not in ("none", "sync-priority", "mq-deadline"):
+            raise ValueError(
+                "scheduler must be none, sync-priority, or mq-deadline"
+            )
+
+
+class _SystemBase:
+    """Shared surface of both system handles."""
+
+    env: Environment
+    device: NvmeDevice
+    server: Server
+    config: SystemConfig
+
+    @property
+    def metrics(self):
+        return self.server.metrics
+
+    @property
+    def waf(self) -> float:
+        return self.device.waf
+
+    def stop(self) -> None:
+        self.server.stop()
+
+
+class BaselineSystem(_SystemBase):
+    """Stock Redis over the traditional kernel path."""
+
+    def __init__(self, env: Environment, config: SystemConfig):
+        self.env = env
+        self.config = config
+        self.device = NvmeDevice(env, config.geometry, config.nand, config.ftl,
+                                 fdp=False)
+        self.block = BlockLayer(env, self.device, config.costs,
+                                scheduler=config.scheduler)
+        self.cache = PageCache(env, self.block, config.costs,
+                               page_size=self.device.lba_size,
+                               dirty_limit_bytes=config.dirty_limit_bytes)
+        fs_cls = Ext4 if config.fs == "ext4" else F2fs
+        self.fs = fs_cls(env, self.block, self.cache, config.costs,
+                         extent_pages=config.fs_extent_pages)
+        self.main_account = CpuAccount(env, "redis-main")
+        compressor = Compressor(level=config.compression_level,
+                                model=config.compression)
+        self.wal = WalManager(
+            env, FileAppendSink(self.fs), self.main_account,
+            policy=config.policy, flush_interval=config.wal_flush_interval,
+            buffer_limit_bytes=config.wal_buffer_limit_bytes,
+        )
+        self.server = Server(
+            env, KVStore(page_size=self.device.lba_size), self.wal,
+            lambda kind: FileSnapshotSink(self.fs, f"{kind.value}.rdb"),
+            config.server, compressor, config.compression, name="baseline",
+        )
+
+    def snapshot_source(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
+                        ) -> FileSnapshotSource:
+        return FileSnapshotSource(self.fs, f"{kind.value}.rdb")
+
+    def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
+                account: Optional[CpuAccount] = None) -> Generator:
+        """Full recovery: load the snapshot file, replay the AOF."""
+        acct = account or CpuAccount(self.env, "baseline-recovery")
+        source = None
+        if self.fs.exists(f"{kind.value}.rdb"):
+            source = self.snapshot_source(kind)
+        result = yield from recover_store(
+            self.env, source, self.wal.sink, acct,
+            Compressor(level=self.config.compression_level,
+                       model=self.config.compression),
+            self.config.compression,
+        )
+        return result
+
+    def crash(self) -> None:
+        """Power loss: the page cache vanishes; the device persists."""
+        self.cache.crash()
+
+
+class SlimIOSystem(_SystemBase):
+    """SlimIO: passthru paths over an FDP (or conventional) device."""
+
+    def __init__(self, env: Environment, config: SystemConfig):
+        self.env = env
+        self.config = config
+        self.device = NvmeDevice(
+            env, config.geometry, config.nand, config.ftl,
+            fdp=config.fdp,
+            num_pids=max(8, config.placement.max_pid + 1),
+        )
+        self.space = LbaSpaceManager(
+            self.device.num_lbas,
+            snapshot_fraction=config.snapshot_fraction,
+        )
+        self.main_account = CpuAccount(env, "slimio-main")
+        # the WAL-Path ring lives in the main process (§4.1)
+        self.wal_ring = PassthruQueuePair(
+            env, self.device, config.costs, sqpoll=config.sqpoll,
+            name="wal-path",
+        )
+        self.meta_store = MetadataStore(
+            self.wal_ring, self.space.layout, config.placement.metadata_pid
+        )
+        self.wal_path = WalPath(
+            env, self.wal_ring, self.space, self.meta_store,
+            self.main_account, config.placement,
+        )
+        compressor = Compressor(level=config.compression_level,
+                                model=config.compression)
+        self.wal = WalManager(
+            env, self.wal_path, self.main_account,
+            policy=config.policy, flush_interval=config.wal_flush_interval,
+            buffer_limit_bytes=config.wal_buffer_limit_bytes,
+        )
+        self._snap_rings: dict[SnapshotKind, PassthruQueuePair] = {}
+        self.server = Server(
+            env, KVStore(page_size=self.device.lba_size), self.wal,
+            self._make_snapshot_sink, config.server, compressor,
+            config.compression, name="slimio",
+        )
+
+    def _make_snapshot_sink(self, kind: SnapshotKind) -> SnapshotPath:
+        if self.config.shared_ring:
+            ring = self.wal_ring  # ablation: no write isolation
+        else:
+            # each snapshot process initializes its own SQ/CQ pair (§4.1)
+            ring = PassthruQueuePair(
+                self.env, self.device, self.config.costs,
+                sqpoll=self.config.sqpoll, name=f"snapshot-path-{kind.value}",
+            )
+        self._snap_rings[kind] = ring
+        return SnapshotPath(
+            self.env, ring, self.space, self.meta_store, kind,
+            self.config.placement,
+        )
+
+    def snapshot_source(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
+                        ring: Optional[PassthruQueuePair] = None,
+                        ) -> SlimIOSnapshotSource:
+        return SlimIOSnapshotSource(
+            ring or self.wal_ring, self.space, kind,
+            readahead_pages=self.config.recovery_readahead_pages,
+        )
+
+    def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
+                account: Optional[CpuAccount] = None) -> Generator:
+        """§4.2 recovery: metadata → snapshot slot → WAL replay."""
+        acct = account or CpuAccount(self.env, "slimio-recovery")
+        meta = yield from self.meta_store.read(acct)
+        if meta is not None:
+            self.space.slots.roles = [SlotRole(r) for r in meta.slot_roles]
+            self.space.slots.lengths = list(meta.slot_lengths)
+            self.space.wal.gen_start = meta.wal_gen_start
+            self.space.wal.head = meta.wal_head
+            self.space.wal.prev_start = meta.wal_prev_start
+            self.wal_path._prev_gen_bytes = meta.wal_prev_bytes
+        source = None
+        role = SlotRole.for_kind(kind)
+        if meta is not None and self.space.slots.slot_of(role) is not None:
+            source = self.snapshot_source(kind)
+        wal_sink = self.wal_path if meta is not None else None
+        result = yield from recover_store(
+            self.env, source, wal_sink, acct,
+            Compressor(level=self.config.compression_level,
+                       model=self.config.compression),
+            self.config.compression,
+        )
+        return result
+
+    def crash(self) -> None:
+        """Power loss: passthru has no page cache — user-space staging
+        buffers (un-flushed WAL tail) are lost; flash contents persist."""
+        self.wal_path._staged.clear()
+        self.wal_path._staged_bytes = 0
+        self.wal_path._tail = b""
+        self.wal_path._tail_vpn = None
+
+
+def build_baseline(env: Optional[Environment] = None,
+                   config: Optional[SystemConfig] = None,
+                   **overrides) -> BaselineSystem:
+    """Stand up the baseline system (see module docstring).
+
+    ``overrides`` are applied to :class:`SystemConfig` via ``replace``.
+    """
+    cfg = config or SystemConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return BaselineSystem(env or Environment(), cfg)
+
+
+def build_slimio(env: Optional[Environment] = None,
+                 config: Optional[SystemConfig] = None,
+                 **overrides) -> SlimIOSystem:
+    """Stand up the SlimIO system (see module docstring)."""
+    cfg = config or SystemConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return SlimIOSystem(env or Environment(), cfg)

@@ -1,0 +1,211 @@
+"""LBA space management: regions and the three-slot scheme (§4.2).
+
+Bypassing the file system means SlimIO owns the raw LBA space. Redis
+persistence is sequential, so management is simple:
+
+* **Metadata Region** — two pages at the front (dual-copy metadata).
+* **Snapshot Region** — three equal slots. A new snapshot is always
+  written into the current **Reserve** slot; on success the reserve is
+  *promoted* to the snapshot's role (WAL-Snapshot or On-Demand) and the
+  role's previous slot becomes the new reserve (and is deallocated).
+  A failure anywhere leaves the previous snapshot untouched.
+* **WAL Region** — the rest, used as a circular log. Pages are
+  addressed by a monotonically increasing *virtual page number*; the
+  physical page is ``base + vpn % wal_pages``. A generation is
+  ``[gen_start, head)``; the previous generation is deallocated only
+  after the WAL-Snapshot covering it is durable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.persist.snapshot import SnapshotKind
+
+__all__ = ["SlotRole", "LbaLayout", "SnapshotSlots", "WalRegion", "LbaSpaceManager"]
+
+
+class SlotRole(enum.IntEnum):
+    RESERVE = 0
+    WAL_SNAPSHOT = 1
+    ONDEMAND_SNAPSHOT = 2
+    UNUSED = 3
+
+    @staticmethod
+    def for_kind(kind: SnapshotKind) -> "SlotRole":
+        return (
+            SlotRole.WAL_SNAPSHOT
+            if kind is SnapshotKind.WAL_TRIGGERED
+            else SlotRole.ONDEMAND_SNAPSHOT
+        )
+
+
+@dataclass(frozen=True)
+class LbaLayout:
+    """Region boundaries, all in LBAs (pages)."""
+
+    total_lbas: int
+    metadata_lbas: int = 2
+    slot_lbas: int = 0  # computed by `partition` when 0
+    #: fraction of post-metadata space given to the snapshot region
+    snapshot_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.total_lbas < 16:
+            raise ValueError("device too small")
+        if not 0.0 < self.snapshot_fraction < 1.0:
+            raise ValueError("snapshot_fraction must be in (0, 1)")
+
+    @staticmethod
+    def partition(total_lbas: int, metadata_lbas: int = 2,
+                  snapshot_fraction: float = 0.45) -> "LbaLayout":
+        usable = total_lbas - metadata_lbas
+        slot = max(1, int(usable * snapshot_fraction) // 3)
+        return LbaLayout(total_lbas, metadata_lbas, slot, snapshot_fraction)
+
+    @property
+    def metadata_base(self) -> int:
+        return 0
+
+    @property
+    def snapshot_base(self) -> int:
+        return self.metadata_lbas
+
+    @property
+    def wal_base(self) -> int:
+        return self.metadata_lbas + 3 * self.slot_lbas
+
+    @property
+    def wal_lbas(self) -> int:
+        return self.total_lbas - self.wal_base
+
+    def slot_base(self, slot_idx: int) -> int:
+        if not 0 <= slot_idx < 3:
+            raise ValueError("slot index must be 0..2")
+        return self.snapshot_base + slot_idx * self.slot_lbas
+
+
+class SnapshotSlots:
+    """Role assignment and promotion over the three snapshot slots."""
+
+    def __init__(self, layout: LbaLayout):
+        self.layout = layout
+        self.roles: list[SlotRole] = [SlotRole.RESERVE, SlotRole.UNUSED,
+                                      SlotRole.UNUSED]
+        self.lengths: list[int] = [0, 0, 0]  # bytes of published snapshot
+
+    def slot_of(self, role: SlotRole) -> Optional[int]:
+        try:
+            return self.roles.index(role)
+        except ValueError:
+            return None
+
+    @property
+    def reserve_slot(self) -> int:
+        idx = self.slot_of(SlotRole.RESERVE)
+        assert idx is not None, "invariant: exactly one reserve slot"
+        return idx
+
+    def promote(self, kind: SnapshotKind, snapshot_bytes: int) -> Optional[int]:
+        """Publish the snapshot in the reserve slot.
+
+        Returns the slot index that became the new reserve (the role's
+        previous slot, to be deallocated by the caller), or None if the
+        role had no previous slot.
+        """
+        role = SlotRole.for_kind(kind)
+        new_slot = self.reserve_slot
+        old_slot = self.slot_of(role)
+        self.roles[new_slot] = role
+        self.lengths[new_slot] = snapshot_bytes
+        if old_slot is not None:
+            self.roles[old_slot] = SlotRole.RESERVE
+            self.lengths[old_slot] = 0
+            return old_slot
+        # use an UNUSED slot as the new reserve
+        unused = self.slot_of(SlotRole.UNUSED)
+        assert unused is not None, "invariant: reserve or unused available"
+        self.roles[unused] = SlotRole.RESERVE
+        return None
+
+    def check_invariants(self) -> None:
+        if self.roles.count(SlotRole.RESERVE) != 1:
+            raise AssertionError("must have exactly one reserve slot")
+        for role in (SlotRole.WAL_SNAPSHOT, SlotRole.ONDEMAND_SNAPSHOT):
+            if self.roles.count(role) > 1:
+                raise AssertionError(f"duplicate {role.name} slot")
+
+
+class WalRegion:
+    """Circular WAL allocation in virtual page numbers."""
+
+    def __init__(self, layout: LbaLayout):
+        self.layout = layout
+        self.gen_start = 0  # vpn
+        self.head = 0  # vpn, next page to write
+        self.prev_start: Optional[int] = None  # retired gen awaiting dealloc
+
+    @property
+    def wal_pages(self) -> int:
+        return self.layout.wal_lbas
+
+    def vpn_to_lba(self, vpn: int) -> int:
+        return self.layout.wal_base + vpn % self.wal_pages
+
+    def live_pages(self) -> int:
+        oldest = self.prev_start if self.prev_start is not None else self.gen_start
+        return self.head - oldest
+
+    def alloc(self, npages: int) -> int:
+        """Reserve ``npages`` at the head; returns the starting vpn."""
+        if npages < 0:
+            raise ValueError("negative alloc")
+        if self.live_pages() + npages > self.wal_pages:
+            raise OSError(
+                "WAL region full — WAL-snapshot trigger must fire earlier"
+            )
+        vpn = self.head
+        self.head += npages
+        return vpn
+
+    def contiguous_run(self, vpn: int, npages: int) -> list[tuple[int, int]]:
+        """Split a vpn run into physically contiguous (lba, n) pieces
+        (at most two, when the run wraps the region end)."""
+        out = []
+        while npages > 0:
+            lba = self.vpn_to_lba(vpn)
+            room = self.layout.wal_base + self.wal_pages - lba
+            n = min(npages, room)
+            out.append((lba, n))
+            vpn += n
+            npages -= n
+        return out
+
+    def start_new_generation(self) -> tuple[int, int]:
+        """Rotate: the live gen is retired; returns its (start, end) vpn
+        for deallocation *after* metadata is durable."""
+        retired = (self.gen_start, self.head)
+        self.prev_start = self.gen_start
+        self.gen_start = self.head
+        return retired
+
+    def retire_previous(self) -> None:
+        """Previous generation fully deallocated."""
+        self.prev_start = None
+
+
+class LbaSpaceManager:
+    """The whole raw LBA space of one SlimIO deployment."""
+
+    def __init__(self, total_lbas: int, metadata_lbas: int = 2,
+                 snapshot_fraction: float = 0.45):
+        self.layout = LbaLayout.partition(total_lbas, metadata_lbas,
+                                          snapshot_fraction)
+        self.slots = SnapshotSlots(self.layout)
+        self.wal = WalRegion(self.layout)
+
+    def slot_extent(self, slot_idx: int) -> tuple[int, int]:
+        """(lba, npages) of a snapshot slot."""
+        return self.layout.slot_base(slot_idx), self.layout.slot_lbas

@@ -1,0 +1,396 @@
+"""The WAL-Path and Snapshot-Path (paper §4.1).
+
+Each path owns a :class:`~repro.kernel.iouring.PassthruQueuePair` —
+its private SQ/CQ pair in SQPOLL mode — so the main process's WAL
+traffic and the snapshot child's bulk writes never meet above the NVMe
+queues: no shared journal lock, no shared scheduler queue, no page
+cache. Writes carry the lifetime PID from the
+:class:`~repro.core.placement.PlacementPolicy`.
+
+Byte framing: the LBA space is page-granular, so both paths keep a
+tail-page staging buffer; a flush writes whole pages and the next
+flush rewrites the (remapped-by-FTL) tail page with more data.
+
+Durability/ordering contracts:
+
+* ``WalPath.flush`` returns only when the appended records are on
+  flash; the metadata head is then updated *asynchronously* — recovery
+  treats it as a hint and scans forward (CRC-delimited), so no record
+  durability is lost to metadata staleness.
+* ``SnapshotPath`` streams into the **reserve slot** with a bounded
+  in-flight window (the CQ handler thread reaps completions);
+  ``finalize`` waits for all data, durably writes the promoted
+  metadata, and only then deallocates the replaced slot.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.lba import LbaSpaceManager, SlotRole
+from repro.core.metadata import Metadata, MetadataStore
+from repro.core.placement import PlacementPolicy
+from repro.core.readahead import ReadAheadBuffer
+from repro.kernel.accounting import CpuAccount
+from repro.kernel.iouring import PassthruQueuePair
+from repro.nvme import DeallocateCmd, ReadCmd, WriteCmd
+from repro.persist.interfaces import AppendSink, SnapshotSink, SnapshotSource
+from repro.persist.snapshot import SnapshotKind
+from repro.sim import Environment, Event
+
+__all__ = ["WalPath", "SnapshotPath", "SlimIOSnapshotSource"]
+
+
+def _pad_to_page(data: bytes, page: int) -> bytes:
+    rem = len(data) % page
+    return data if rem == 0 else data + bytes(page - rem)
+
+
+class WalPath(AppendSink):
+    """Append log over the circular WAL region via passthru."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ring: PassthruQueuePair,
+        space: LbaSpaceManager,
+        meta_store: MetadataStore,
+        account: CpuAccount,
+        placement: Optional[PlacementPolicy] = None,
+    ):
+        self.env = env
+        self.ring = ring
+        self.space = space
+        self.meta = meta_store
+        self.account = account
+        self.placement = placement or PlacementPolicy()
+        self._staged: list[bytes] = []
+        self._staged_bytes = 0
+        self._tail: bytes = b""  # bytes already flushed into a partial page
+        self._tail_vpn: Optional[int] = None
+        self._gen_bytes = 0
+        self._prev_gen_bytes = 0  # logical length of the retiring generation
+        self._meta_inflight: Optional[Event] = None
+
+    # ------------------------------------------------------------------ sink API
+    @property
+    def size(self) -> int:
+        return self._gen_bytes
+
+    def append(self, data: bytes, account: CpuAccount) -> Generator:
+        """Stage at the tail (user-space; no device I/O yet)."""
+        self._staged.append(data)
+        self._staged_bytes += len(data)
+        self._gen_bytes += len(data)
+        return
+        yield  # pragma: no cover - generator form for interface parity
+
+    def flush(self, account: CpuAccount) -> Generator:
+        """Write staged bytes; returns when they are on flash."""
+        if not self._staged and self._tail_vpn is None:
+            return
+        if not self._staged:
+            return  # tail already durable
+        page = self.ring.device.lba_size
+        data = self._tail + b"".join(self._staged)
+        self._staged.clear()
+        self._staged_bytes = 0
+
+        start_vpn = (
+            self._tail_vpn
+            if self._tail_vpn is not None
+            else self.space.wal.alloc(0)
+        )
+        full_pages = len(data) // page
+        rem = len(data) % page
+        needed = full_pages + (1 if rem else 0)
+        already = 1 if self._tail_vpn is not None else 0
+        if needed > already:
+            self.space.wal.alloc(needed - already)
+
+        payload = _pad_to_page(data, page)
+        events = []
+        vpn = start_vpn
+        for lba, n in self.space.wal.contiguous_run(start_vpn, needed):
+            piece = payload[(vpn - start_vpn) * page : (vpn - start_vpn + n) * page]
+            ev = yield from self.ring.submit(
+                WriteCmd(lba=lba, nlb=n, data=piece, pid=self.placement.wal_pid),
+                account,
+            )
+            events.append(ev)
+            vpn += n
+        for ev in events:
+            yield from self.ring.wait(ev, account)
+
+        if rem:
+            self._tail = data[full_pages * page :]
+            self._tail_vpn = start_vpn + full_pages
+        else:
+            self._tail = b""
+            self._tail_vpn = None
+        yield from self._update_metadata_async(account)
+
+    def _update_metadata_async(self, account: CpuAccount) -> Generator:
+        """Persist the WAL head hint without waiting for it."""
+        if self._meta_inflight is not None and not self._meta_inflight.processed:
+            return  # one in flight is enough: it's only a hint
+        meta = self._current_meta()
+        done = self.env.event()
+
+        def _writer():
+            yield from self.meta.write(meta, self.account)
+            done.succeed()
+
+        self.env.process(_writer(), name="wal-meta")
+        self._meta_inflight = done
+        return
+        yield  # pragma: no cover
+
+    def _current_meta(self) -> Metadata:
+        return Metadata(
+            wal_gen_start=self.space.wal.gen_start,
+            wal_head=self.space.wal.head,
+            wal_prev_start=self.space.wal.prev_start,
+            wal_prev_bytes=self._prev_gen_bytes,
+            slot_roles=[int(r) for r in self.space.slots.roles],
+            slot_lengths=list(self.space.slots.lengths),
+        )
+
+    def begin_generation(self, account: CpuAccount) -> Generator:
+        """Start a new generation at the fork; the old one stays live.
+
+        Metadata records both generations so a crash before the
+        snapshot completes still replays the full chain.
+        """
+        yield from self.flush(account)
+        self.space.wal.start_new_generation()
+        self._tail = b""
+        self._tail_vpn = None
+        self._prev_gen_bytes = self._gen_bytes
+        self._gen_bytes = 0
+        yield from self.meta.write(self._current_meta(), account)
+
+    def retire_previous(self, account: CpuAccount) -> Generator:
+        """Deallocate the pre-snapshot generation (snapshot durable).
+
+        Ordering: metadata stops referencing the old generation first,
+        then its pages are TRIMmed — a crash in between only leaks
+        pages until the next rotation, never loses data.
+        """
+        wal = self.space.wal
+        if wal.prev_start is None:
+            return
+        retired_start, retired_end = wal.prev_start, wal.gen_start
+        wal.retire_previous()
+        self._prev_gen_bytes = 0
+        yield from self.meta.write(self._current_meta(), account)
+        for lba, n in wal.contiguous_run(
+            retired_start, retired_end - retired_start
+        ):
+            if n:
+                ev = yield from self.ring.deallocate(lba, n, account)
+                yield from self.ring.wait(ev, account)
+
+    def read_all(self, account: CpuAccount) -> Generator:
+        """Read every live generation (recovery; CRC-delimited tail).
+
+        Reads from the oldest live generation through the metadata head
+        hint, then keeps scanning page batches until a batch of zero
+        pages — the head hint may lag the last durable flush.
+        """
+        yield from self.flush(account)  # no-op post-crash; convenience live
+        wal = self.space.wal
+        blob = bytearray()
+        # previous generation first, trimmed to its logical length so the
+        # page padding at its tail doesn't break the record stream
+        if wal.prev_start is not None:
+            prev = yield from self._read_range(
+                wal.prev_start, wal.gen_start, account
+            )
+            blob.extend(prev[: self._prev_gen_bytes])
+        # current generation through the metadata head hint
+        cur = yield from self._read_range(wal.gen_start, wal.head, account)
+        blob.extend(cur)
+        # scan beyond the hint (bounded by region capacity): the durable
+        # head may be ahead of the last persisted metadata
+        vpn = wal.head
+        oldest = wal.prev_start if wal.prev_start is not None else wal.gen_start
+        limit = oldest + wal.wal_pages
+        while vpn < limit:
+            n = min(16, limit - vpn)
+            chunk = yield from self._read_range(vpn, vpn + n, account)
+            vpn += n
+            if not any(chunk):
+                break
+            blob.extend(chunk)
+            wal.head = vpn  # adopt scanned pages into the live head
+        return bytes(blob)
+
+    def _read_range(self, vpn_start: int, vpn_end: int,
+                    account: CpuAccount) -> Generator:
+        wal = self.space.wal
+        out = bytearray()
+        vpn = vpn_start
+        while vpn < vpn_end:
+            for lba, n in wal.contiguous_run(vpn, min(vpn_end - vpn, 64)):
+                data = yield from self.ring.submit_and_wait(
+                    ReadCmd(lba=lba, nlb=n), account
+                )
+                out.extend(data)
+                vpn += n
+        return bytes(out)
+
+
+class SnapshotPath(SnapshotSink):
+    """Snapshot stream into the reserve slot via passthru (async writes)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ring: PassthruQueuePair,
+        space: LbaSpaceManager,
+        meta_store: MetadataStore,
+        kind: SnapshotKind,
+        placement: Optional[PlacementPolicy] = None,
+        write_batch_pages: int = 8,
+        max_inflight_batches: int = 16,
+    ):
+        if write_batch_pages < 1 or max_inflight_batches < 1:
+            raise ValueError("batch/window must be >= 1")
+        self.env = env
+        self.ring = ring
+        self.space = space
+        self.meta = meta_store
+        self.kind = kind
+        self.placement = placement or PlacementPolicy()
+        self.batch_pages = write_batch_pages
+        self.max_inflight = max_inflight_batches
+        self._buffer = bytearray()
+        self._slot: Optional[int] = None
+        self._pages_written = 0
+        self._bytes = 0
+        self._inflight: list[Event] = []
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes
+
+    @property
+    def pid(self) -> int:
+        return self.placement.pid_for_snapshot(self.kind)
+
+    def _ensure_slot(self) -> int:
+        if self._slot is None:
+            self._slot = self.space.slots.reserve_slot
+            self._pages_written = 0
+            self._bytes = 0
+            self._buffer.clear()
+            self._inflight.clear()
+        return self._slot
+
+    def write(self, data: bytes, account: CpuAccount) -> Generator:
+        slot = self._ensure_slot()
+        self._buffer.extend(data)
+        self._bytes += len(data)
+        page = self.ring.device.lba_size
+        batch_bytes = self.batch_pages * page
+        while len(self._buffer) >= batch_bytes:
+            chunk = bytes(self._buffer[:batch_bytes])
+            del self._buffer[:batch_bytes]
+            yield from self._submit_pages(slot, chunk, account)
+
+    def _submit_pages(self, slot: int, chunk: bytes,
+                      account: CpuAccount) -> Generator:
+        page = self.ring.device.lba_size
+        base, cap = self.space.slot_extent(slot)
+        npages = len(chunk) // page
+        if self._pages_written + npages > cap:
+            raise OSError("snapshot slot overflow — enlarge the slot size")
+        ev = yield from self.ring.submit(
+            WriteCmd(
+                lba=base + self._pages_written,
+                nlb=npages,
+                data=chunk,
+                pid=self.pid,
+            ),
+            account,
+        )
+        self._pages_written += npages
+        self._inflight.append(ev)
+        # bounded window: the CQ handler keeps up, the submitter only
+        # stalls when the device is genuinely behind
+        while len(self._inflight) > self.max_inflight:
+            oldest = self._inflight.pop(0)
+            yield from self.ring.wait(oldest, account)
+
+    def finalize(self, account: CpuAccount) -> Generator:
+        slot = self._ensure_slot()
+        page = self.ring.device.lba_size
+        if self._buffer:
+            chunk = _pad_to_page(bytes(self._buffer), page)
+            self._buffer.clear()
+            yield from self._submit_pages(slot, chunk, account)
+        # 1) all data durable
+        while self._inflight:
+            yield from self.ring.wait(self._inflight.pop(0), account)
+        # 2) promote the reserve slot in the metadata, durably
+        old_slot = self.space.slots.promote(self.kind, self._bytes)
+        meta = Metadata(
+            wal_gen_start=self.space.wal.gen_start,
+            wal_head=self.space.wal.head,
+            slot_roles=[int(r) for r in self.space.slots.roles],
+            slot_lengths=list(self.space.slots.lengths),
+        )
+        yield from self.meta.write(meta, account)
+        # 3) only now retire the previous snapshot of this kind
+        if old_slot is not None:
+            base, cap = self.space.slot_extent(old_slot)
+            ev = yield from self.ring.deallocate(base, cap, account)
+            yield from self.ring.wait(ev, account)
+        self._slot = None
+
+    def abort(self) -> None:
+        """Discard the partial snapshot; the reserve slot stays reserve.
+
+        Deallocation of the partial pages is deferred to the next use
+        (writes simply overwrite); bookkeeping is reset immediately.
+        """
+        self._slot = None
+        self._buffer.clear()
+        self._inflight.clear()
+        self._pages_written = 0
+        self._bytes = 0
+
+
+class SlimIOSnapshotSource(SnapshotSource):
+    """Read a published snapshot slot through the read-ahead buffer."""
+
+    def __init__(
+        self,
+        ring: PassthruQueuePair,
+        space: LbaSpaceManager,
+        kind: SnapshotKind,
+        readahead_pages: int = 64,
+    ):
+        role = SlotRole.for_kind(kind)
+        slot = space.slots.slot_of(role)
+        if slot is None:
+            raise FileNotFoundError(f"no published {role.name} snapshot")
+        base, cap = space.slot_extent(slot)
+        self._size = space.slots.lengths[slot]
+        page = ring.device.lba_size
+        npages = min(cap, -(-self._size // page)) if self._size else 0
+        self._buffer = ReadAheadBuffer(
+            ring, base, max(npages, 1), window_pages=readahead_pages
+        )
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, length: int, account: CpuAccount) -> Generator:
+        length = max(0, min(length, self._size - offset))
+        if length == 0:
+            return b""
+        data = yield from self._buffer.read(offset, length, account)
+        return data

@@ -1,0 +1,56 @@
+"""Lifetime-based FDP placement policy (paper §4.3).
+
+Data classes with different lifetimes get different Placement IDs so
+the FDP SSD groups them into different Reclaim Units:
+
+* metadata — tiny, rewritten in place, own PID;
+* WAL — short-lived (retired at every WAL-Snapshot), own PID;
+* WAL-Snapshots — retired at the next WAL-Snapshot, own PID;
+* On-Demand Snapshots — long-lived (daily/manual backups), own PID.
+
+The paper's device exposes 8 PIDs; this policy uses 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.persist.snapshot import SnapshotKind
+
+__all__ = ["PlacementPolicy"]
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """PID assignment per data class."""
+
+    metadata_pid: int = 0
+    wal_pid: int = 1
+    wal_snapshot_pid: int = 2
+    ondemand_snapshot_pid: int = 3
+
+    def __post_init__(self) -> None:
+        pids = (
+            self.metadata_pid,
+            self.wal_pid,
+            self.wal_snapshot_pid,
+            self.ondemand_snapshot_pid,
+        )
+        if any(p < 0 for p in pids):
+            raise ValueError("PIDs must be non-negative")
+        if len(set(pids)) != len(pids):
+            raise ValueError("PIDs must be distinct (lifetime separation)")
+
+    def pid_for_snapshot(self, kind: SnapshotKind) -> int:
+        if kind is SnapshotKind.WAL_TRIGGERED:
+            return self.wal_snapshot_pid
+        return self.ondemand_snapshot_pid
+
+    @property
+    def max_pid(self) -> int:
+        return max(
+            self.metadata_pid,
+            self.wal_pid,
+            self.wal_snapshot_pid,
+            self.ondemand_snapshot_pid,
+        )

@@ -1,0 +1,122 @@
+"""Sequential read-ahead over a passthru ring (recovery fast path).
+
+The baseline gets prefetching for free from the page cache; a passthru
+application must build its own. Recovery is a single sequential scan,
+so the buffer keeps a window of page reads in flight ahead of the
+cursor: while the CPU decompresses chunk *n*, the device is already
+reading chunks *n+1 … n+w*. This overlap is where Table 5's ~20 %
+recovery speedup comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.kernel.accounting import CpuAccount
+from repro.kernel.iouring import PassthruQueuePair
+from repro.nvme import ReadCmd
+from repro.sim import Event
+
+__all__ = ["ReadAheadBuffer"]
+
+
+class ReadAheadBuffer:
+    """Prefetching reader over a contiguous LBA extent."""
+
+    def __init__(
+        self,
+        ring: PassthruQueuePair,
+        base_lba: int,
+        npages: int,
+        window_pages: int = 64,
+        batch_pages: int = 16,
+    ):
+        if window_pages < 1 or batch_pages < 1:
+            raise ValueError("window/batch must be >= 1")
+        self.ring = ring
+        self.base_lba = base_lba
+        self.npages = npages
+        self.window_pages = window_pages
+        self.batch_pages = min(batch_pages, window_pages)
+        self._pages: dict[int, bytes] = {}  # page_idx -> data
+        self._inflight: dict[int, Event] = {}  # first page idx -> completion
+        self._next_prefetch = 0
+
+    @property
+    def page_size(self) -> int:
+        return self.ring.device.lba_size
+
+    def _prefetch(self, account: CpuAccount) -> Generator:
+        """Top the window up with async batch reads.
+
+        The window bounds *in-flight* pages only — pages already
+        buffered for the current sequential pass must not stall the
+        pipeline (they are dropped once the cursor passes them).
+        """
+        while (
+            self._next_prefetch < self.npages
+            and self._inflight_pages() < self.window_pages
+        ):
+            start = self._next_prefetch
+            n = min(self.batch_pages, self.npages - start)
+            ev = yield from self.ring.submit(
+                ReadCmd(lba=self.base_lba + start, nlb=n), account
+            )
+            self._inflight[start] = ev
+            self._next_prefetch = start + n
+
+    def _inflight_pages(self) -> int:
+        return sum(
+            min(self.batch_pages, self.npages - s) for s in self._inflight
+        )
+
+    def _absorb(self, start: int, data: bytes) -> None:
+        ps = self.page_size
+        n = len(data) // ps
+        for j in range(n):
+            self._pages[start + j] = data[j * ps : (j + 1) * ps]
+
+    def read(self, offset: int, length: int, account: CpuAccount) -> Generator:
+        """Read ``length`` bytes at byte ``offset`` of the extent."""
+        if offset < 0 or length < 0:
+            raise ValueError("bad extent")
+        if offset + length > self.npages * self.page_size:
+            raise ValueError("read beyond extent")
+        ps = self.page_size
+        first = offset // ps
+        last = (offset + length - 1) // ps if length else first
+        yield from self._prefetch(account)
+        for idx in range(first, last + 1):
+            while idx not in self._pages:
+                ev = self._find_inflight_for(idx)
+                if ev is None:
+                    # random access outside the prefetch stream
+                    data = yield from self.ring.submit_and_wait(
+                        ReadCmd(lba=self.base_lba + idx, nlb=1), account
+                    )
+                    self._pages[idx] = data
+                    break
+                start, event = ev
+                data = yield from self.ring.wait(event, account)
+                del self._inflight[start]
+                self._absorb(start, data)
+            yield from self._prefetch(account)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            abs_off = offset + pos
+            idx, in_page = divmod(abs_off, ps)
+            n = min(ps - in_page, length - pos)
+            out[pos : pos + n] = self._pages[idx][in_page : in_page + n]
+            pos += n
+        # drop pages behind the cursor (bounded memory)
+        for idx in [i for i in self._pages if i < first]:
+            del self._pages[idx]
+        return bytes(out)
+
+    def _find_inflight_for(self, idx: int) -> Optional[tuple[int, Event]]:
+        for start, ev in self._inflight.items():
+            n = min(self.batch_pages, self.npages - start)
+            if start <= idx < start + n:
+                return start, ev
+        return None

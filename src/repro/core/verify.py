@@ -1,0 +1,169 @@
+"""Offline consistency checker for a SlimIO LBA space (fsck-style).
+
+Inspects a device *as a crash would leave it* — through the data plane
+only, no in-memory state — and validates every invariant the §4.2
+design promises:
+
+* at least one metadata copy decodes (unless the device is blank);
+* slot roles form a legal assignment (exactly one reserve, no
+  duplicate roles);
+* every published snapshot slot decodes as a complete, CRC-valid RDB
+  stream of exactly the length metadata records;
+* the WAL generation chain decodes from its oldest live record, and
+  the byte length metadata claims for a retiring generation matches a
+  record boundary;
+* WAL/snapshot/metadata regions do not overlap.
+
+Returns a :class:`VerifyReport`; ``ok`` is True when no issues were
+found. Used by the crash-recovery property tests: after killing the
+system at an arbitrary instant, the space must still verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.lba import LbaLayout, SlotRole
+from repro.core.metadata import Metadata, MetadataCodec
+from repro.nvme import NvmeDevice
+from repro.persist.compress import Compressor
+from repro.persist.encoding import AofCodec, CorruptRecord, RdbReader
+
+__all__ = ["VerifyReport", "verify_lba_space"]
+
+
+@dataclass
+class VerifyReport:
+    """Findings of one verification pass."""
+
+    blank_device: bool = False
+    metadata: Optional[Metadata] = None
+    issues: list[str] = field(default_factory=list)
+    snapshot_entries: dict[str, int] = field(default_factory=dict)
+    wal_records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def problem(self, msg: str) -> None:
+        self.issues.append(msg)
+
+
+def _read(device: NvmeDevice, lba: int, n: int) -> bytes:
+    """Zero-time raw read (offline inspection)."""
+    return device.peek(lba, n)
+
+
+def verify_lba_space(
+    device: NvmeDevice,
+    layout: Optional[LbaLayout] = None,
+    compressor: Optional[Compressor] = None,
+    snapshot_fraction: float = 0.45,
+) -> VerifyReport:
+    """Validate the on-device state of a SlimIO deployment."""
+    report = VerifyReport()
+    lay = layout or LbaLayout.partition(
+        device.num_lbas, snapshot_fraction=snapshot_fraction
+    )
+    comp = compressor or Compressor()
+
+    # region geometry sanity
+    if lay.wal_base <= lay.snapshot_base:
+        report.problem("snapshot region does not precede WAL region")
+    if lay.wal_lbas <= 0:
+        report.problem("empty WAL region")
+
+    # metadata: freshest valid copy
+    best: Optional[Metadata] = None
+    for i in range(lay.metadata_lbas):
+        meta = MetadataCodec.decode(_read(device, lay.metadata_base + i, 1))
+        if meta is not None and (best is None or meta.seqno > best.seqno):
+            best = meta
+    if best is None:
+        if device.written_lbas() == 0:
+            report.blank_device = True
+            return report
+        report.problem("no valid metadata copy on a non-blank device")
+        return report
+    report.metadata = best
+
+    # slot roles
+    roles = [SlotRole(r) for r in best.slot_roles]
+    if roles.count(SlotRole.RESERVE) != 1:
+        report.problem(f"slot roles {roles} lack exactly one reserve")
+    for role in (SlotRole.WAL_SNAPSHOT, SlotRole.ONDEMAND_SNAPSHOT):
+        if roles.count(role) > 1:
+            report.problem(f"duplicate {role.name} slot")
+
+    # published snapshots decode completely
+    for idx, role in enumerate(roles):
+        if role not in (SlotRole.WAL_SNAPSHOT, SlotRole.ONDEMAND_SNAPSHOT):
+            continue
+        length = best.slot_lengths[idx]
+        cap_bytes = lay.slot_lbas * device.lba_size
+        if length > cap_bytes:
+            report.problem(
+                f"slot {idx} ({role.name}) claims {length} bytes "
+                f"> capacity {cap_bytes}"
+            )
+            continue
+        npages = -(-length // device.lba_size) if length else 0
+        blob = _read(device, lay.slot_base(idx), max(npages, 1))[:length]
+        try:
+            entries = RdbReader(comp).read_all(blob)
+        except CorruptRecord as exc:
+            report.problem(f"slot {idx} ({role.name}) snapshot corrupt: {exc}")
+            continue
+        report.snapshot_entries[role.name] = len(entries)
+
+    # WAL chain decodes from the oldest live generation
+    wal_pages = lay.wal_lbas
+    oldest = (
+        best.wal_prev_start if best.wal_prev_start is not None
+        else best.wal_gen_start
+    )
+    if best.wal_head < oldest:
+        report.problem(
+            f"WAL head {best.wal_head} precedes oldest start {oldest}"
+        )
+        return report
+    if best.wal_head - oldest > wal_pages:
+        report.problem("live WAL span exceeds the WAL region")
+        return report
+
+    def read_vpns(start: int, end: int) -> bytes:
+        out = bytearray()
+        for vpn in range(start, end):
+            out.extend(_read(device, lay.wal_base + vpn % wal_pages, 1))
+        return bytes(out)
+
+    blob = bytearray()
+    if best.wal_prev_start is not None:
+        prev = read_vpns(best.wal_prev_start, best.wal_gen_start)
+        if best.wal_prev_bytes > len(prev):
+            report.problem("metadata prev-generation length exceeds extent")
+            return report
+        prev_records = list(AofCodec.decode_stream(prev[: best.wal_prev_bytes]))
+        decoded_len = sum(
+            AofCodec.encoded_size(len(r.key), len(r.value))
+            for r in prev_records
+        )
+        if decoded_len != best.wal_prev_bytes:
+            report.problem(
+                "previous WAL generation does not end on a record boundary"
+            )
+        blob.extend(prev[: best.wal_prev_bytes])
+    blob.extend(read_vpns(best.wal_gen_start, best.wal_head))
+    # scan past the head hint, as recovery does
+    vpn = best.wal_head
+    limit = oldest + wal_pages
+    while vpn < limit:
+        page = read_vpns(vpn, vpn + 1)
+        if not any(page):
+            break
+        blob.extend(page)
+        vpn += 1
+    report.wal_records = sum(1 for _ in AofCodec.decode_stream(bytes(blob)))
+    return report

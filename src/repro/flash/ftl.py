@@ -1,0 +1,463 @@
+"""Page-mapped flash translation layer with streams, GC, and WAF.
+
+One FTL class covers both devices in the paper:
+
+* **Conventional SSD** — a single write stream: WAL entries, WAL
+  snapshots, and On-Demand snapshots all interleave into the same open
+  segments, so segments end up holding pages with mixed lifetimes and
+  garbage collection must copy the still-valid (long-lived) pages
+  before erasing. Those copies are the WAF > 1 of Table 3 and the
+  latency spikes of Figure 4.
+* **FDP SSD** — one stream per Placement ID. A stream owns its
+  segments exclusively (a segment group per stream is exactly the
+  Reclaim Unit of the FDP spec at our RU = segment granularity), so
+  when the host deallocates a region its segments become fully invalid
+  and GC erases them without copying a single page: WAF = 1.00.
+
+The FTL tracks logical→physical mapping with numpy arrays, runs GC as
+a background simulation process competing for the same NAND dies as
+host I/O, and exposes write-amplification and stall statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.flash.geometry import FlashGeometry, NandTiming
+from repro.flash.nand import NandArray
+from repro.sim import Environment, Event
+from repro.sim.stats import Counter
+
+__all__ = ["FtlConfig", "FtlStats", "FlashTranslationLayer"]
+
+# segment states
+SEG_FREE = 0
+SEG_OPEN = 1
+SEG_FULL = 2
+
+# write roles within a stream
+ROLE_HOST = 0
+ROLE_GC = 1
+
+
+@dataclass(frozen=True)
+class FtlConfig:
+    """GC and overprovisioning policy knobs."""
+
+    #: fraction of physical pages hidden from the logical space
+    op_ratio: float = 0.10
+    #: kick GC when free segments drop below this
+    gc_trigger_segments: int = 4
+    #: GC keeps reclaiming until free segments reach this
+    gc_stop_segments: int = 6
+    #: segments only GC may allocate from (host waits below this)
+    gc_reserve_segments: int = 2
+    #: concurrent page copies per GC batch (uses die parallelism)
+    gc_copy_window: int = 16
+    #: idle gap between background (copy-free) reclaims
+    bg_reclaim_pause: float = 3e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.op_ratio < 0.5:
+            raise ValueError("op_ratio must be in [0, 0.5)")
+        if self.gc_reserve_segments < 1:
+            raise ValueError("gc_reserve_segments must be >= 1")
+        if self.gc_trigger_segments <= self.gc_reserve_segments:
+            raise ValueError("gc_trigger must exceed gc_reserve")
+        if self.gc_stop_segments < self.gc_trigger_segments:
+            raise ValueError("gc_stop must be >= gc_trigger")
+        if self.gc_copy_window < 1:
+            raise ValueError("gc_copy_window must be >= 1")
+
+
+@dataclass
+class FtlStats:
+    """Aggregate device-internal accounting."""
+
+    host_pages_written: int = 0
+    gc_pages_copied: int = 0
+    segments_erased: int = 0
+    copyfree_erases: int = 0
+    host_stall_time: float = 0.0
+    gc_runs: int = 0
+
+    @property
+    def total_pages_programmed(self) -> int:
+        return self.host_pages_written + self.gc_pages_copied
+
+    @property
+    def waf(self) -> float:
+        """Write amplification factor (1.00 = no internal copies)."""
+        if self.host_pages_written == 0:
+            return 1.0
+        return self.total_pages_programmed / self.host_pages_written
+
+
+class _Stream:
+    """One write stream (a Placement ID in FDP terms)."""
+
+    __slots__ = ("stream_id", "open_segment", "write_ptr", "pages_written",
+                 "place_locks")
+
+    def __init__(self, stream_id: int, env: Environment):
+        self.stream_id = stream_id
+        # one open segment per role: [host, gc]
+        self.open_segment: list[Optional[int]] = [None, None]
+        self.write_ptr: list[int] = [0, 0]
+        self.pages_written = 0
+        # placement must be atomic per (stream, role): allocation can
+        # block, and concurrent page writes would otherwise race and
+        # leak half-open segments
+        from repro.sim import Resource
+
+        self.place_locks = [Resource(env, 1), Resource(env, 1)]
+
+
+class FlashTranslationLayer:
+    """Mapping, allocation, and garbage collection for one device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: FlashGeometry,
+        timing: NandTiming | None = None,
+        config: FtlConfig | None = None,
+        nand: NandArray | None = None,
+    ):
+        self.env = env
+        self.geometry = geometry
+        self.config = config or FtlConfig()
+        self.nand = nand or NandArray(env, geometry, timing)
+        g = geometry
+        if self.config.gc_stop_segments >= g.segments:
+            raise ValueError(
+                f"geometry has {g.segments} segments; GC watermarks need fewer"
+            )
+
+        self.num_lpns = int(g.total_pages * (1.0 - self.config.op_ratio))
+        # logical→physical and inverse maps (-1 = unmapped/invalid)
+        self._l2p = np.full(self.num_lpns, -1, dtype=np.int64)
+        self._p2l = np.full(g.total_pages, -1, dtype=np.int64)
+        self._seg_state = np.full(g.segments, SEG_FREE, dtype=np.int8)
+        self._seg_valid = np.zeros(g.segments, dtype=np.int32)
+        self._seg_stream = np.full(g.segments, -1, dtype=np.int32)
+        self._seg_erase_count = np.zeros(g.segments, dtype=np.int64)
+        self._free: deque[int] = deque(range(g.segments))
+
+        self._streams: dict[int, _Stream] = {}
+        self.stats = FtlStats()
+        self.counters = Counter()
+        self._space_waiters: list[Event] = []
+        self._gc_kick: Optional[Event] = None
+        self._bg_wake: Optional[Event] = None
+        self._invalidation: Optional[Event] = None
+        self._gc_proc = env.process(self._gc_loop(), name="ftl-gc")
+
+    # ------------------------------------------------------------------ streams
+    def register_stream(self, stream_id: int) -> None:
+        """Declare a write stream (an FDP Placement ID)."""
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id} already registered")
+        self._streams[stream_id] = _Stream(stream_id, self.env)
+
+    @property
+    def stream_ids(self) -> list[int]:
+        return sorted(self._streams)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def free_segments(self) -> int:
+        return len(self._free)
+
+    def mapped_ppn(self, lpn: int) -> int:
+        """Current physical page of ``lpn`` (-1 if unmapped)."""
+        self._check_lpn(lpn)
+        return int(self._l2p[lpn])
+
+    def segment_valid_count(self, seg: int) -> int:
+        return int(self._seg_valid[seg])
+
+    def segment_stream(self, seg: int) -> int:
+        return int(self._seg_stream[seg])
+
+    def erase_count(self, seg: int) -> int:
+        return int(self._seg_erase_count[seg])
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.num_lpns:
+            raise ValueError(f"lpn {lpn} out of range [0, {self.num_lpns})")
+
+    # ------------------------------------------------------------------ host ops
+    def write(self, lpn: int, stream_id: int) -> Generator:
+        """Host page write (a simulation generator).
+
+        Maps the page into the stream's open segment and pays the NAND
+        program plus any allocation stall while the device is out of
+        free segments (GC pressure — the Figure 4 nosedives).
+        """
+        self._check_lpn(lpn)
+        if stream_id not in self._streams:
+            raise ValueError(f"unknown stream {stream_id}")
+        t0 = self.env.now
+        ppn = yield from self._place(lpn, stream_id, ROLE_HOST)
+        stall = self.env.now - t0
+        self.stats.host_stall_time += stall
+        yield from self.nand.program_page(ppn)
+        self.stats.host_pages_written += 1
+        self._streams[stream_id].pages_written += 1
+
+    def read(self, lpn: int) -> Generator:
+        """Host page read; unmapped pages cost nothing (returned zeroed)."""
+        self._check_lpn(lpn)
+        ppn = int(self._l2p[lpn])
+        if ppn < 0:
+            return False
+        yield from self.nand.read_page(ppn)
+        return True
+
+    def deallocate(self, lpn_start: int, count: int) -> None:
+        """TRIM a logical range: invalidate without writing.
+
+        This is how SlimIO retires an old WAL or snapshot slot; on the
+        FDP device it leaves whole Reclaim Units invalid, enabling
+        copy-free erases.
+        """
+        if count < 0:
+            raise ValueError("negative deallocate count")
+        self._check_lpn(lpn_start)
+        if count:
+            self._check_lpn(lpn_start + count - 1)
+        lpns = np.arange(lpn_start, lpn_start + count)
+        ppns = self._l2p[lpns]
+        live = ppns[ppns >= 0]
+        if live.size:
+            segs = live // self.geometry.pages_per_segment
+            self._p2l[live] = -1
+            np.subtract.at(self._seg_valid, segs, 1)
+            self._l2p[lpns] = -1
+        self.counters.add("deallocated_pages", int(live.size))
+        if live.size:
+            self._on_invalidation()
+        self._maybe_kick_gc()
+
+    # ------------------------------------------------------------------ placement
+    def _place(self, lpn: int, stream_id: int, role: int) -> Generator:
+        """Assign a physical page; returns the ppn (mapping is atomic)."""
+        stream = self._streams[stream_id]
+        lock = stream.place_locks[role].request()
+        yield lock
+        try:
+            seg = stream.open_segment[role]
+            if (
+                seg is None
+                or stream.write_ptr[role] >= self.geometry.pages_per_segment
+            ):
+                if seg is not None:
+                    self._seg_state[seg] = SEG_FULL
+                    stream.open_segment[role] = None
+                    self._maybe_kick_gc()
+                seg = yield from self._alloc_segment(stream_id, role)
+                stream.open_segment[role] = seg
+                stream.write_ptr[role] = 0
+            ppn = (
+                self.geometry.first_page_of_segment(seg)
+                + stream.write_ptr[role]
+            )
+            stream.write_ptr[role] += 1
+        finally:
+            stream.place_locks[role].release(lock)
+
+        old = int(self._l2p[lpn])
+        if old >= 0:
+            self._p2l[old] = -1
+            self._seg_valid[self.geometry.segment_of_page(old)] -= 1
+            self._on_invalidation()
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._seg_valid[self.geometry.segment_of_page(ppn)] += 1
+        return ppn
+
+    def _alloc_segment(self, stream_id: int, role: int) -> Generator:
+        floor = 0 if role == ROLE_GC else self.config.gc_reserve_segments
+        while True:
+            self._maybe_kick_gc()
+            if len(self._free) > floor:
+                seg = self._free.popleft()
+                self._seg_state[seg] = SEG_OPEN
+                self._seg_stream[seg] = stream_id
+                return seg
+            # out of space for this caller: wait for GC to reclaim
+            waiter = self.env.event()
+            self._space_waiters.append(waiter)
+            self.counters.add("alloc_stalls")
+            yield waiter
+
+    # ------------------------------------------------------------------ GC
+    def _maybe_kick_gc(self) -> None:
+        if (
+            len(self._free) < self.config.gc_trigger_segments
+            and self._gc_kick is not None
+            and not self._gc_kick.triggered
+        ):
+            self._gc_kick.succeed()
+
+    def _pick_victim(self) -> Optional[int]:
+        """Greedy: the FULL segment with the fewest valid pages.
+
+        A 100%-valid segment is never a victim — copying it gains no
+        space (a real FTL would burn endurance for nothing); the GC
+        waits for invalidations instead.
+        """
+        full = np.flatnonzero(self._seg_state == SEG_FULL)
+        if full.size == 0:
+            return None
+        best = int(full[np.argmin(self._seg_valid[full])])
+        if self._seg_valid[best] >= self.geometry.pages_per_segment:
+            return None
+        return best
+
+    def _close_reclaimable_opens(self) -> None:
+        """Close host open segments that carry invalid pages.
+
+        Invalid space pinned in an open segment is unreachable to GC;
+        closing the segment (the stream simply opens a new one on its
+        next write) converts it into a victim candidate — the FTL
+        analogue of padding out a partially written block.
+        """
+        for stream in self._streams.values():
+            for role in (ROLE_HOST, ROLE_GC):
+                seg = stream.open_segment[role]
+                if seg is None:
+                    continue
+                written = stream.write_ptr[role]
+                if written > 0 and self._seg_valid[seg] < written:
+                    self._seg_state[seg] = SEG_FULL
+                    stream.open_segment[role] = None
+                    stream.write_ptr[role] = 0
+                    self.counters.add("forced_closes")
+
+    def _on_invalidation(self) -> None:
+        if self._invalidation is not None and not self._invalidation.triggered:
+            self._invalidation.succeed()
+        if self._bg_wake is not None and not self._bg_wake.triggered:
+            self._bg_wake.succeed()
+
+    def _pick_dead(self) -> Optional[int]:
+        """A fully-invalid FULL segment (copy-free reclaim), if any."""
+        full = np.flatnonzero(
+            (self._seg_state == SEG_FULL) & (self._seg_valid == 0)
+        )
+        return int(full[0]) if full.size else None
+
+    def _gc_loop(self) -> Generator:
+        while True:
+            if len(self._free) >= self.config.gc_trigger_segments:
+                # background reclaim: erase wholesale-dead segments as
+                # they appear (TRIM of a WAL generation / snapshot slot)
+                # instead of letting erases cluster into a storm when
+                # free space finally runs out
+                dead = self._pick_dead()
+                if dead is not None:
+                    yield from self._reclaim(dead)
+                    self.counters.add("background_reclaims")
+                    # pace background erases so they interleave with
+                    # host I/O instead of forming a blackout train
+                    yield self.env.timeout(self.config.bg_reclaim_pause)
+                    continue
+                self._gc_kick = self.env.event()
+                self._bg_wake = self.env.event()
+                self._maybe_kick_gc()
+                yield self.env.any_of([self._gc_kick, self._bg_wake])
+                self._gc_kick = None
+                self._bg_wake = None
+            # reclaim until the stop watermark
+            while len(self._free) < self.config.gc_stop_segments:
+                victim = self._pick_victim()
+                if victim is None:
+                    self._close_reclaimable_opens()
+                    victim = self._pick_victim()
+                if victim is None:
+                    # nothing gains space right now: sleep until some
+                    # page is invalidated (overwrite or TRIM). If every
+                    # writer is blocked on allocation too, the event
+                    # heap drains and the run fails loudly — a genuinely
+                    # wedged configuration, not silent GC churn.
+                    self._invalidation = self.env.event()
+                    yield self._invalidation
+                    self._invalidation = None
+                    continue
+                yield from self._reclaim(victim)
+            self.stats.gc_runs += 1
+
+    def _reclaim(self, victim: int) -> Generator:
+        """Copy a victim's valid pages, then erase it."""
+        g = self.geometry
+        base = g.first_page_of_segment(victim)
+        stream_id = int(self._seg_stream[victim])
+        copied = 0
+        window: list = []
+        for off in range(g.pages_per_segment):
+            ppn = base + off
+            lpn = int(self._p2l[ppn])
+            if lpn < 0:
+                continue
+            window.append(
+                self.env.process(
+                    self._copy_page(lpn, ppn, stream_id), name=f"gc-copy-{lpn}"
+                )
+            )
+            copied += 1
+            if len(window) >= self.config.gc_copy_window:
+                yield self.env.all_of(window)
+                window = []
+        if window:
+            yield self.env.all_of(window)
+        if copied == 0:
+            self.stats.copyfree_erases += 1
+        yield from self.nand.erase_segment(victim)
+        self._seg_state[victim] = SEG_FREE
+        self._seg_stream[victim] = -1
+        self._seg_valid[victim] = 0
+        self._seg_erase_count[victim] += 1
+        self._free.append(victim)
+        self.stats.segments_erased += 1
+        waiters, self._space_waiters = self._space_waiters, []
+        for w in waiters:
+            w.succeed()
+
+    def _copy_page(self, lpn: int, src_ppn: int, stream_id: int) -> Generator:
+        # The host may have rewritten the lpn since we scanned; skip then.
+        if int(self._l2p[lpn]) != src_ppn:
+            return
+        yield from self.nand.read_page(src_ppn)
+        if int(self._l2p[lpn]) != src_ppn:
+            return
+        dst = yield from self._place(lpn, stream_id, ROLE_GC)
+        yield from self.nand.program_page(dst)
+        self.stats.gc_pages_copied += 1
+
+    # ------------------------------------------------------------------ invariants
+    def check_invariants(self) -> None:
+        """Internal consistency; used by property-based tests."""
+        g = self.geometry
+        mapped = np.flatnonzero(self._l2p >= 0)
+        ppns = self._l2p[mapped]
+        if len(np.unique(ppns)) != len(ppns):
+            raise AssertionError("two lpns map to one ppn")
+        back = self._p2l[ppns]
+        if not np.array_equal(back, mapped):
+            raise AssertionError("l2p/p2l disagree")
+        valid_by_seg = np.bincount(
+            ppns // g.pages_per_segment, minlength=g.segments
+        )
+        if not np.array_equal(valid_by_seg, self._seg_valid):
+            raise AssertionError("segment valid counts drifted")
+        n_free = int(np.sum(self._seg_state == SEG_FREE))
+        if n_free != len(self._free):
+            raise AssertionError("free list does not match segment states")
+        if np.any(self._seg_valid[self._seg_state == SEG_FREE] != 0):
+            raise AssertionError("free segment holds valid pages")

@@ -1,0 +1,92 @@
+"""NAND array timing: die and channel occupancy.
+
+Each die services one operation at a time (read / program / erase) and
+each channel bus moves one page at a time. Host I/O and GC traffic
+contend for the same dies — this contention is the physical mechanism
+behind the paper's "Snapshot & WAL (under GC)" degradation (§3.1.4)
+and the RPS nosedives of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.flash.geometry import FlashGeometry, NandTiming
+from repro.sim import Environment, Resource
+from repro.sim.stats import Counter
+
+__all__ = ["NandArray"]
+
+
+class NandArray:
+    """Timing façade over the dies and channels of one device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: FlashGeometry,
+        timing: NandTiming | None = None,
+    ):
+        self.env = env
+        self.geometry = geometry
+        self.timing = timing or NandTiming()
+        self._dies = [Resource(env, capacity=1) for _ in range(geometry.total_dies)]
+        self._channels = [Resource(env, capacity=1) for _ in range(geometry.channels)]
+        self.counters = Counter()
+        #: accumulated die-busy time, for utilization reporting
+        self.die_busy_time = 0.0
+
+    # -- elemental operations (generators to be yielded from processes) ------
+    def _occupy(self, die: int, duration: float) -> Generator:
+        req = self._dies[die].request()
+        yield req
+        yield self.env.timeout(duration)
+        self._dies[die].release(req)
+        self.die_busy_time += duration
+
+    def _transfer(self, die: int) -> Generator:
+        ch = self.geometry.channel_of_die(die)
+        req = self._channels[ch].request()
+        yield req
+        yield self.env.timeout(self.timing.channel_transfer)
+        self._channels[ch].release(req)
+
+    def read_page(self, ppn: int) -> Generator:
+        """Sense the page on its die, then move it over the channel."""
+        die = self.geometry.die_of_page(ppn)
+        yield from self._occupy(die, self.timing.page_read)
+        yield from self._transfer(die)
+        self.counters.add("page_reads")
+
+    def program_page(self, ppn: int) -> Generator:
+        """Move data over the channel, then program the die."""
+        die = self.geometry.die_of_page(ppn)
+        yield from self._transfer(die)
+        yield from self._occupy(die, self.timing.page_program)
+        self.counters.add("page_programs")
+
+    def erase_segment(self, seg: int) -> Generator:
+        """Erase the segment's block on every die (in parallel).
+
+        Each die pays one block-erase latency; the segment erase
+        completes when the slowest die finishes.
+        """
+        procs = []
+        for die in range(self.geometry.total_dies):
+            procs.append(
+                self.env.process(
+                    self._occupy(die, self.timing.block_erase),
+                    name=f"erase-seg{seg}-die{die}",
+                )
+            )
+        yield self.env.all_of(procs)
+        self.counters.add("segment_erases")
+        self.counters.add("block_erases", self.geometry.total_dies)
+
+    # -- reporting -------------------------------------------------------------
+    def utilization(self, t_end: float | None = None) -> float:
+        """Mean die utilization in [0, 1] over the run so far."""
+        t = self.env.now if t_end is None else t_end
+        if t <= 0:
+            return 0.0
+        return self.die_busy_time / (t * self.geometry.total_dies)

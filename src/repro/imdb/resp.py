@@ -1,0 +1,226 @@
+"""RESP2 — the REdis Serialization Protocol.
+
+The wire format real clients speak. The simulator's clients call the
+server API directly, but the codec makes the IMDB a complete Redis
+substitute: traces captured from real deployments can be decoded into
+:class:`~repro.imdb.server.ClientOp`s, and responses re-encoded for
+byte-exact comparison with a reference server.
+
+Implemented: simple strings (``+``), errors (``-``), integers (``:``),
+bulk strings (``$``, including null), arrays (``*``, including null),
+and the inline-command form. Streaming-safe: the parser reports "need
+more bytes" instead of failing on a partial buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.imdb.server import ClientOp
+
+__all__ = [
+    "RespError",
+    "ProtocolError",
+    "encode",
+    "decode",
+    "encode_command",
+    "decode_command",
+    "RespParser",
+]
+
+CRLF = b"\r\n"
+
+RespValue = Union[None, int, bytes, str, list, "RespError"]
+
+
+class ProtocolError(Exception):
+    """Malformed RESP input."""
+
+
+class RespError:
+    """A RESP error reply (``-ERR ...``)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RespError) and other.message == self.message
+
+    def __hash__(self) -> int:
+        return hash(("RespError", self.message))
+
+    def __repr__(self) -> str:
+        return f"RespError({self.message!r})"
+
+
+def encode(value: RespValue) -> bytes:
+    """Serialize one RESP value.
+
+    Python mapping: ``str`` → simple string, ``bytes`` → bulk string,
+    ``int`` → integer, ``None`` → null bulk, ``list`` → array,
+    :class:`RespError` → error.
+    """
+    if value is None:
+        return b"$-1\r\n"
+    if isinstance(value, RespError):
+        if "\r" in value.message or "\n" in value.message:
+            raise ProtocolError("error messages cannot contain CR/LF")
+        return b"-" + value.message.encode() + CRLF
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise ProtocolError("booleans are not a RESP2 type")
+    if isinstance(value, int):
+        return b":" + str(value).encode() + CRLF
+    if isinstance(value, str):
+        if "\r" in value or "\n" in value:
+            raise ProtocolError("simple strings cannot contain CR/LF")
+        return b"+" + value.encode() + CRLF
+    if isinstance(value, (bytes, bytearray)):
+        payload = bytes(value)
+        return b"$" + str(len(payload)).encode() + CRLF + payload + CRLF
+    if isinstance(value, list):
+        out = b"*" + str(len(value)).encode() + CRLF
+        return out + b"".join(encode(v) for v in value)
+    raise ProtocolError(f"cannot encode {type(value).__name__}")
+
+
+class RespParser:
+    """Incremental parser: feed bytes, pop complete values."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def parse(self) -> tuple[bool, RespValue]:
+        """Try to pop one value; returns (complete, value)."""
+        got = self._parse_at(0)
+        if got is None:
+            return False, None
+        value, end = got
+        del self._buf[:end]
+        return True, value
+
+    # -- internals ---------------------------------------------------------
+    def _line_end(self, pos: int) -> Optional[int]:
+        idx = self._buf.find(CRLF, pos)
+        return None if idx < 0 else idx
+
+    def _parse_at(self, pos: int) -> Optional[tuple[RespValue, int]]:
+        if pos >= len(self._buf):
+            return None
+        kind = self._buf[pos:pos + 1]
+        eol = self._line_end(pos + 1)
+        if eol is None:
+            return None
+        header = bytes(self._buf[pos + 1:eol])
+        body_start = eol + 2
+        if kind == b"+":
+            return header.decode("latin-1"), body_start
+        if kind == b"-":
+            return RespError(header.decode("latin-1")), body_start
+        if kind == b":":
+            try:
+                return int(header), body_start
+            except ValueError as exc:
+                raise ProtocolError(f"bad integer {header!r}") from exc
+        if kind == b"$":
+            try:
+                n = int(header)
+            except ValueError as exc:
+                raise ProtocolError(f"bad bulk length {header!r}") from exc
+            if n == -1:
+                return None, body_start  # null bulk
+            if n < 0:
+                raise ProtocolError("negative bulk length")
+            end = body_start + n + 2
+            if len(self._buf) < end:
+                return None
+            if bytes(self._buf[body_start + n:end]) != CRLF:
+                raise ProtocolError("bulk string not CRLF-terminated")
+            return bytes(self._buf[body_start:body_start + n]), end
+        if kind == b"*":
+            try:
+                n = int(header)
+            except ValueError as exc:
+                raise ProtocolError(f"bad array length {header!r}") from exc
+            if n == -1:
+                return None, body_start  # null array
+            if n < 0:
+                raise ProtocolError("negative array length")
+            items = []
+            cursor = body_start
+            for _ in range(n):
+                got = self._parse_at(cursor)
+                if got is None:
+                    return None
+                item, cursor = got
+                items.append(item)
+            return items, cursor
+        # inline command: a bare line of space-separated words
+        words = header.split()
+        if not words and kind not in b"+-:$*":
+            raise ProtocolError("empty inline command")
+        return [bytes(w) for w in (kind + header).split()], body_start
+
+
+def decode(data: bytes) -> RespValue:
+    """Parse exactly one complete value (convenience for tests)."""
+    p = RespParser()
+    p.feed(data)
+    ok, value = p.parse()
+    if not ok:
+        raise ProtocolError("incomplete RESP value")
+    if p.pending_bytes:
+        raise ProtocolError(f"{p.pending_bytes} trailing bytes")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# command <-> ClientOp
+# ---------------------------------------------------------------------------
+
+def encode_command(op: ClientOp) -> bytes:
+    """A ClientOp as the RESP array a client would send."""
+    if op.op == "SET":
+        parts: list[RespValue] = [b"SET", op.key, op.value]
+        if op.ttl is not None:
+            parts += [b"PX", str(int(round(op.ttl * 1000))).encode()]
+        return encode(parts)
+    if op.op == "GET":
+        return encode([b"GET", op.key])
+    return encode([b"DEL", op.key])
+
+
+def decode_command(data: bytes) -> ClientOp:
+    """One RESP command array → ClientOp (SET/GET/DEL subset)."""
+    value = decode(data)
+    if not isinstance(value, list) or not value:
+        raise ProtocolError("command must be a non-empty array")
+    words = [v if isinstance(v, bytes) else str(v).encode() for v in value]
+    name = words[0].upper()
+    if name == b"GET" and len(words) == 2:
+        return ClientOp("GET", words[1])
+    if name == b"DEL" and len(words) == 2:
+        return ClientOp("DEL", words[1])
+    if name == b"SET" and len(words) >= 3:
+        ttl = None
+        i = 3
+        while i < len(words):
+            flag = words[i].upper()
+            if flag == b"PX" and i + 1 < len(words):
+                ttl = int(words[i + 1]) / 1000.0
+                i += 2
+            elif flag == b"EX" and i + 1 < len(words):
+                ttl = float(int(words[i + 1]))
+                i += 2
+            else:
+                raise ProtocolError(f"unsupported SET flag {flag!r}")
+        return ClientOp("SET", words[1], words[2], ttl=ttl)
+    raise ProtocolError(f"unsupported command {name!r}/{len(words)}")

@@ -1,0 +1,416 @@
+"""The IMDB server: single-threaded query loop + persistence hooks.
+
+Faithful to Redis's execution model:
+
+* one CPU services commands in arrival order (clients queue on it);
+* a SET appends to the WAL *inside* the command path — under
+  Always-Log it stays there until the record is durable, under
+  Periodical-Log it returns once buffered;
+* a snapshot forks a child (stalling the parent for the page-table
+  copy), the child serializes/compresses/writes the fork-point
+  dataset through its own sink, and parent writes to still-shared
+  pages pay the CoW fault + copy;
+* a WAL-Snapshot fires automatically when the WAL reaches the trigger
+  size; the WAL rotates (old generation retired) only after that
+  snapshot is durable. On-Demand snapshots are started explicitly.
+  At most one snapshot runs at a time (paper §2.1).
+
+Metrics: per-op latency recorders, an RPS event stream with snapshot
+windows (so analysis can split WAL-only vs WAL&Snapshot phases), and a
+time-weighted memory footprint including CoW growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.imdb.expiry import ExpiryConfig, ExpiryTable
+from repro.imdb.memory import CowMemory, ForkModel
+from repro.imdb.store import KVStore
+from repro.kernel.accounting import CpuAccount
+from repro.persist.compress import CompressionModel, Compressor
+from repro.persist.encoding import AofRecord, OP_DEL, OP_SET
+from repro.persist.interfaces import SnapshotSink
+from repro.persist.snapshot import (
+    SnapshotCpuModel,
+    SnapshotKind,
+    SnapshotStats,
+    SnapshotWriterProcess,
+)
+from repro.persist.wal import LoggingPolicy, WalManager
+from repro.sim import Environment, Resource
+from repro.sim.stats import IntervalRate, LatencyRecorder, TimeWeighted
+
+__all__ = ["ClientOp", "ServerConfig", "ServerMetrics", "Server"]
+
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    """One client request.
+
+    ``ttl`` (SET only) arms expiration, like ``SET key val EX ttl``;
+    a plain SET clears any existing TTL (Redis semantics).
+    """
+
+    op: str  # "SET" | "GET" | "DEL"
+    key: bytes
+    value: bytes = b""
+    ttl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("SET", "GET", "DEL"):
+            raise ValueError(f"unknown op {self.op!r}")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if self.ttl is not None and self.op != "SET":
+            raise ValueError("ttl only applies to SET")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Query-path CPU costs and snapshot policy."""
+
+    set_cpu: float = 8.0 * US
+    get_cpu: float = 5.0 * US
+    del_cpu: float = 6.0 * US
+    #: WAL size that triggers a WAL-Snapshot (None = never)
+    wal_snapshot_trigger_bytes: Optional[int] = None
+    #: AOF buffer size that forces the main-thread write() even when
+    #: the event loop is busy (one write per loop iteration in Redis)
+    wal_write_batch_bytes: int = 128 * 1024
+    snapshot_chunk_entries: int = 128
+    fork_model: ForkModel = field(default_factory=ForkModel)
+    snapshot_cpu: SnapshotCpuModel = field(default_factory=SnapshotCpuModel)
+
+    def __post_init__(self) -> None:
+        for f in ("set_cpu", "get_cpu", "del_cpu"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be >= 0")
+        if self.snapshot_chunk_entries < 1:
+            raise ValueError("snapshot_chunk_entries must be >= 1")
+
+
+class ServerMetrics:
+    """Everything the evaluation section reads off one run."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.set_latency = LatencyRecorder("SET")
+        self.get_latency = LatencyRecorder("GET")
+        self.ops = IntervalRate("ops")
+        self.memory = TimeWeighted(t0=env.now)
+        self.snapshot_windows: list[tuple[float, float]] = []
+        self.snapshots: list[SnapshotStats] = []
+
+    def record_op(self, op: str, latency: float) -> None:
+        self.ops.record(self.env.now)
+        if op == "SET":
+            self.set_latency.record(latency)
+        elif op == "GET":
+            self.get_latency.record(latency)
+
+    def in_snapshot(self, t: float) -> bool:
+        return any(t0 <= t <= t1 for t0, t1 in self.snapshot_windows)
+
+    def phase_rps(self, t_end: Optional[float] = None) -> dict[str, float]:
+        """Mean RPS inside vs outside snapshot windows."""
+        import numpy as np
+
+        t = self.ops._t
+        if not t:
+            return {"wal_only": 0.0, "wal_snapshot": 0.0, "average": 0.0}
+        arr = np.asarray(t)
+        hi = t_end if t_end is not None else arr[-1]
+        lo = arr[0]
+        in_snap = np.zeros(len(arr), dtype=bool)
+        snap_time = 0.0
+        for t0, t1 in self.snapshot_windows:
+            # clamp to the measured span (a snapshot may straddle the
+            # metrics-reset boundary or the end of the run)
+            t0c, t1c = max(t0, lo), min(t1, hi)
+            if t1c > t0c:
+                in_snap |= (arr >= t0c) & (arr <= t1c)
+                snap_time += t1c - t0c
+        total_time = hi - arr[0] if hi > arr[0] else 1e-12
+        out_time = max(total_time - snap_time, 1e-12)
+        n_in = int(in_snap.sum())
+        n_out = len(arr) - n_in
+        return {
+            "wal_only": n_out / out_time,
+            "wal_snapshot": n_in / snap_time if snap_time > 0 else 0.0,
+            "average": len(arr) / total_time,
+        }
+
+
+class Server:
+    """One IMDB instance bound to a WAL manager and a snapshot sink."""
+
+    def __init__(
+        self,
+        env: Environment,
+        store: KVStore,
+        wal: Optional[WalManager],
+        snapshot_sink_factory: Optional[Callable[[SnapshotKind], SnapshotSink]],
+        config: Optional[ServerConfig] = None,
+        compressor: Optional[Compressor] = None,
+        compression_model: Optional[CompressionModel] = None,
+        name: str = "imdb",
+    ):
+        self.env = env
+        self.store = store
+        self.wal = wal
+        self.sink_factory = snapshot_sink_factory
+        self.config = config or ServerConfig()
+        self.compressor = compressor or Compressor()
+        self.compression_model = compression_model or self.compressor.model
+        self.name = name
+        self.cpu = Resource(env, capacity=1)
+        self.account = wal.account if wal is not None else CpuAccount(env, name)
+        self.cow = CowMemory(env, self.config.fork_model, store.page_size)
+        self.expiry = ExpiryTable(env)
+        self._expiry_proc = None
+        self.metrics = ServerMetrics(env)
+        self._sinks: dict[SnapshotKind, SnapshotSink] = {}
+        self._snapshot_proc = None
+        self._snapshot_pending = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, op: ClientOp) -> Generator:
+        """Serve one request; returns the value for GET, None otherwise.
+
+        Latency = queueing on the server CPU + service + persistence
+        per policy (measured from call to return, like a client does).
+        """
+        t_arrive = self.env.now
+        req = self.cpu.request()
+        yield req
+        try:
+            result, wal_seq = yield from self._serve(op)
+        finally:
+            self.cpu.release(req)
+        if wal_seq is not None and self.wal.policy is LoggingPolicy.ALWAYS:
+            # Always-Log: the reply waits for durability; concurrent
+            # writers group-commit (the CPU is free meanwhile, matching
+            # Redis's batched event-loop write+fsync)
+            yield from self.wal.ensure_durable(wal_seq)
+        elif wal_seq is not None and self.wal.over_buffer_limit:
+            # Periodical-Log hard limit: the device (e.g. mid-GC) has
+            # fallen behind; write queries block until the AOF buffer
+            # drains — the Figure 4 nosedive mechanism
+            yield from self.wal.wait_capacity()
+        latency = self.env.now - t_arrive
+        self.metrics.record_op(op.op, latency)
+        self._sample_memory()
+        self._maybe_trigger_wal_snapshot()
+        if self.wal is not None:
+            idle = self.cpu.count == 0 and self.cpu.queue_len == 0
+            if idle or self.wal.buffered_bytes >= self.config.wal_write_batch_bytes:
+                # flushAppendOnlyFile on the main thread: when the event
+                # loop goes idle, or once per batch under load
+                self.wal.idle_drain(self.cpu)
+        return result
+
+    def _serve(self, op: ClientOp) -> Generator:
+        cfg = self.config
+        acct = self.account
+        wal_seq = None
+        # lazy expiration: touching an expired key removes it first and
+        # propagates an explicit DEL (Redis semantics)
+        if op.key in self.store and self.expiry.lazy_check(op.key):
+            yield from self._evict_locked(op.key)
+        if op.op == "GET":
+            yield from acct.charge("query_cpu", cfg.get_cpu)
+            return self.store.get(op.key), None
+        if op.op == "SET":
+            yield from acct.charge("query_cpu", cfg.set_cpu)
+            if self.wal is not None:
+                wal_seq = self.wal.stage(
+                    AofRecord(op=OP_SET, key=op.key, value=op.value)
+                )
+            first, n = self.store.set(op.key, op.value)
+            if op.ttl is not None:
+                self.expiry.set_ttl(op.key, op.ttl)
+            else:
+                self.expiry.persist(op.key)  # plain SET clears the TTL
+            yield from self.cow.touch(first, n, acct)
+            return None, wal_seq
+        # DEL
+        yield from acct.charge("query_cpu", cfg.del_cpu)
+        if self.wal is not None:
+            wal_seq = self.wal.stage(AofRecord(op=OP_DEL, key=op.key))
+        pages = self.store.pages_of(op.key)
+        existed = self.store.delete(op.key)
+        self.expiry.note_deleted(op.key)
+        if existed and pages is not None:
+            yield from self.cow.touch(pages[0], pages[1], acct)
+        return existed, wal_seq
+
+    def _evict_locked(self, key: bytes) -> Generator:
+        """Remove an expired key (caller holds the CPU); logs the DEL.
+
+        Returns the staged WAL sequence number (None without a WAL).
+        """
+        yield from self.account.charge("query_cpu", self.config.del_cpu)
+        seq = None
+        if self.wal is not None:
+            seq = self.wal.stage(AofRecord(op=OP_DEL, key=key))
+        pages = self.store.pages_of(key)
+        if self.store.delete(key) and pages is not None:
+            yield from self.cow.touch(pages[0], pages[1], self.account)
+        return seq
+
+    def start_expiry_cycle(self, config: Optional[ExpiryConfig] = None):
+        """Run Redis's active expiration cycle in the background."""
+        if self._expiry_proc is not None:
+            return self._expiry_proc
+        if config is not None:
+            self.expiry.config = config
+
+        def evict(key):
+            seq = None
+            req = self.cpu.request()
+            yield req
+            try:
+                if key in self.store:
+                    seq = yield from self._evict_locked(key)
+            finally:
+                self.cpu.release(req)
+            if seq is not None and self.wal.policy is LoggingPolicy.ALWAYS:
+                # the propagated DEL obeys the logging policy
+                yield from self.wal.ensure_durable(seq)
+
+        self._expiry_proc = self.env.process(
+            self.expiry.active_cycle(evict), name=f"{self.name}-expiry"
+        )
+        return self._expiry_proc
+
+    # ------------------------------------------------------------------ snapshots
+    @property
+    def snapshot_in_progress(self) -> bool:
+        return self.cow.snapshot_active or self._snapshot_pending
+
+    def _sink_for(self, kind: SnapshotKind) -> SnapshotSink:
+        sink = self._sinks.get(kind)
+        if sink is None:
+            if self.sink_factory is None:
+                raise RuntimeError("server has no snapshot sink")
+            sink = self.sink_factory(kind)
+            self._sinks[kind] = sink
+        return sink
+
+    def start_snapshot(self, kind: SnapshotKind = SnapshotKind.ON_DEMAND):
+        """Begin a snapshot; returns the child Process (its value is
+        :class:`SnapshotStats`). No-op (returns None) if one is active.
+
+        Queued like a command: the CPU slot is claimed synchronously so
+        the fork happens after any in-flight command and before any
+        later one — exactly Redis's BGSAVE-between-commands semantics.
+        """
+        if self.cow.snapshot_active or self._snapshot_pending or self._stopped:
+            return None
+        self._snapshot_pending = True
+        req = self.cpu.request()
+        self._snapshot_proc = self.env.process(
+            self._snapshot_body(kind, req), name=f"{self.name}-snapshot"
+        )
+        return self._snapshot_proc
+
+    def _snapshot_body(self, kind: SnapshotKind, req) -> Generator:
+        yield req
+        t0 = self.env.now
+        try:
+            # the fork instant: capture + share pages + switch the WAL
+            # generation, all before any later command can run
+            self.cow.arm(self.store.heap_pages)
+            # expired-but-unevicted keys are omitted, as in Redis RDB
+            items = [
+                (k, v) for k, v in self.store.snapshot_items()
+                if not self.expiry.is_expired(k)
+            ]
+            if kind is SnapshotKind.WAL_TRIGGERED and self.wal is not None:
+                self.wal.rotate_begin()
+            self._snapshot_pending = False
+            # page-table copy stalls the query path
+            yield from self.cow.pt_copy_stall(self.account)
+        finally:
+            self.cpu.release(req)
+        child = SnapshotWriterProcess(
+            self.env,
+            items,
+            self._sink_for(kind),
+            kind=kind,
+            compressor=self.compressor,
+            cpu_model=self.config.snapshot_cpu,
+            compression_model=self.compression_model,
+            chunk_entries=self.config.snapshot_chunk_entries,
+            account=CpuAccount(self.env, f"{self.name}-snapshot-child"),
+        )
+        try:
+            stats = yield from child.run()
+        except Exception:
+            self.cow.reap()
+            self.metrics.snapshot_windows.append((t0, self.env.now))
+            self._sample_memory()
+            raise
+        self.cow.reap()
+        self.metrics.snapshot_windows.append((t0, self.env.now))
+        self.metrics.snapshots.append(stats)
+        self._sample_memory()
+        if kind is SnapshotKind.WAL_TRIGGERED and self.wal is not None:
+            # the pre-snapshot WAL generation is retired only now that
+            # the covering snapshot is durable (§2.1 / §4.2 ordering)
+            yield from self.wal.retire_previous()
+        return stats
+
+    def _maybe_trigger_wal_snapshot(self) -> None:
+        trigger = self.config.wal_snapshot_trigger_bytes
+        if (
+            trigger is not None
+            and self.wal is not None
+            and self.wal.size >= trigger
+            and not self.cow.snapshot_active
+        ):
+            self.start_snapshot(SnapshotKind.WAL_TRIGGERED)
+
+    # ------------------------------------------------------------------ misc
+    def _sample_memory(self) -> None:
+        self.metrics.memory.update(
+            self.env.now, self.store.used_bytes + self.cow.extra_bytes
+        )
+
+    def info(self) -> dict[str, float]:
+        """A Redis ``INFO``-style snapshot of server state and metrics."""
+        m = self.metrics
+        out = {
+            "keys": float(len(self.store)),
+            "used_memory": float(self.store.used_bytes),
+            "used_memory_peak": float(m.memory.peak),
+            "total_commands_processed": float(len(m.ops)),
+            "instantaneous_ops": m.ops.mean_rate(),
+            "set_p999": m.set_latency.p(99.9),
+            "get_p999": m.get_latency.p(99.9),
+            "snapshot_in_progress": float(self.snapshot_in_progress),
+            "snapshots_completed": float(len(m.snapshots)),
+            "cow_copied_pages": float(self.cow.copied_pages),
+            "cow_faults": float(self.cow.cow_faults),
+        }
+        if self.wal is not None:
+            out["wal_bytes"] = float(self.wal.size)
+            out["wal_buffered_bytes"] = float(self.wal.buffered_bytes)
+        return out
+
+    def reset_metrics(self) -> None:
+        """Fresh metrics (drop warmup samples); state is untouched."""
+        self.metrics = ServerMetrics(self.env)
+        self._sample_memory()
+
+    def stop(self) -> None:
+        """End of run: stop background activity (WAL flusher, expiry)."""
+        self._stopped = True
+        self.expiry.stop()
+        if self.wal is not None:
+            self.wal.close()

@@ -1,0 +1,120 @@
+"""The keyspace: real bytes plus memory/page accounting.
+
+Every entry lives in the Python dict (so persistence and recovery are
+byte-exact), and is also assigned a range of 4 KiB "heap pages" by a
+bump allocator. The page assignment is what the copy-on-write model
+operates on: a SET during a snapshot touches the entry's pages, and
+shared pages must be copied (see :mod:`repro.imdb.memory`).
+
+Memory accounting mirrors how Redis reports ``used_memory``: payload
+bytes plus a fixed per-entry overhead (dict entry, robj header, SDS
+headers — collapsed into one constant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["KVStore"]
+
+#: collapsed per-entry bookkeeping overhead (dict entry + robj + sds)
+ENTRY_OVERHEAD = 64
+PAGE_SIZE = 4096
+
+
+class KVStore:
+    """A flat binary-safe key-value store."""
+
+    def __init__(self, page_size: int = PAGE_SIZE,
+                 entry_overhead: int = ENTRY_OVERHEAD):
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        self.page_size = page_size
+        self.entry_overhead = entry_overhead
+        self._data: dict[bytes, bytes] = {}
+        #: key -> (first_page, n_pages) in the simulated heap
+        self._pages: dict[bytes, tuple[int, int]] = {}
+        self._next_page = 0
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def _entry_pages(self, key: bytes, value: bytes) -> int:
+        nbytes = len(key) + len(value) + self.entry_overhead
+        return -(-nbytes // self.page_size)
+
+    def set(self, key: bytes, value: bytes) -> tuple[int, int]:
+        """Insert/overwrite; returns the (first_page, n_pages) touched.
+
+        An overwrite reuses the entry's pages when the new value fits
+        the old footprint (Redis updates SDS in place when possible);
+        otherwise the entry is reallocated at the heap tail.
+        """
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+        old = self._data.get(key)
+        new_pages = self._entry_pages(key, value)
+        if old is not None:
+            self._used_bytes -= len(key) + len(old) + self.entry_overhead
+            first, n = self._pages[key]
+            if new_pages > n:
+                first, n = self._next_page, new_pages
+                self._next_page += new_pages
+                self._pages[key] = (first, n)
+        else:
+            first, n = self._next_page, new_pages
+            self._next_page += new_pages
+            self._pages[key] = (first, n)
+        self._data[key] = value
+        self._used_bytes += len(key) + len(value) + self.entry_overhead
+        return self._pages[key]
+
+    def delete(self, key: bytes) -> bool:
+        old = self._data.pop(key, None)
+        if old is None:
+            return False
+        self._used_bytes -= len(key) + len(old) + self.entry_overhead
+        self._pages.pop(key)
+        return True
+
+    def pages_of(self, key: bytes) -> Optional[tuple[int, int]]:
+        return self._pages.get(key)
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def used_bytes(self) -> int:
+        """Logical memory footprint (Redis ``used_memory``)."""
+        return self._used_bytes
+
+    @property
+    def heap_pages(self) -> int:
+        """Pages ever allocated (the CoW-shareable extent at fork)."""
+        return self._next_page
+
+    # ------------------------------------------------------------------ bulk
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        return iter(self._data.items())
+
+    def snapshot_items(self) -> list[tuple[bytes, bytes]]:
+        """Frozen copy of the keyspace, as the fork child sees it."""
+        return list(self._data.items())
+
+    def load(self, data: dict[bytes, bytes]) -> None:
+        """Bulk-replace contents (recovery)."""
+        self._data.clear()
+        self._pages.clear()
+        self._next_page = 0
+        self._used_bytes = 0
+        for k, v in data.items():
+            self.set(k, v)
+
+    def as_dict(self) -> dict[bytes, bytes]:
+        return dict(self._data)

@@ -1,0 +1,61 @@
+"""Calibrated kernel cost model.
+
+Single source of truth for every CPU-side latency in the traditional
+and io_uring paths. Values are rough medians from the literature the
+paper cites (Didona et al. SYSTOR'22 on storage API overheads; Ren &
+Trivedi CHEOPS'23; the I/O passthru FAST'24 paper) and are deliberately
+conservative — the reproduction's claims are about *relative* effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCosts"]
+
+US = 1e-6
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """All CPU-side costs, in seconds (rates in bytes/second)."""
+
+    #: user↔kernel mode switch + register save/restore per syscall
+    syscall_overhead: float = 1.6 * US
+    #: copy_{from,to}_user bandwidth (write() data copy into the cache)
+    copy_bandwidth: float = 8.0 * GIB
+    #: CPU time to look up/insert one page in the page cache xarray
+    pagecache_page_op: float = 0.15 * US
+    #: block-layer request setup (bio alloc, plug, queue insert)
+    bio_submit_cost: float = 0.7 * US
+    #: io_uring SQE preparation + ring doorbell from user space
+    uring_sqe_prep: float = 0.10 * US
+    #: io_uring_enter() syscall when not in SQPOLL mode
+    uring_enter_cost: float = 1.2 * US
+    #: SQPOLL kernel-thread pickup latency (poll granularity)
+    sqpoll_pickup: float = 1.0 * US
+    #: CQE reap cost per completion
+    cqe_reap_cost: float = 0.10 * US
+    #: process context switch (blocking I/O wakeup path)
+    context_switch: float = 1.2 * US
+
+    def copy_time(self, nbytes: int) -> float:
+        """Time to memcpy ``nbytes`` across the user/kernel boundary."""
+        return nbytes / self.copy_bandwidth
+
+    def __post_init__(self) -> None:
+        if self.copy_bandwidth <= 0:
+            raise ValueError("copy_bandwidth must be positive")
+        for name in (
+            "syscall_overhead",
+            "pagecache_page_op",
+            "bio_submit_cost",
+            "uring_sqe_prep",
+            "uring_enter_cost",
+            "sqpoll_pickup",
+            "cqe_reap_cost",
+            "context_switch",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")

@@ -1,0 +1,25 @@
+"""NVMe device model over the flash FTL.
+
+Exposes the command-level interface the kernel paths talk to:
+reads/writes in LBA units (one LBA = one NAND page here), deallocate
+(TRIM), and FDP write directives carrying a Placement ID. The device
+holds the *real bytes* written to it, so snapshots and WALs written
+through any simulated path can be read back and verified.
+"""
+
+from repro.nvme.commands import (
+    DeallocateCmd,
+    NvmeCommand,
+    ReadCmd,
+    WriteCmd,
+)
+from repro.nvme.device import DeviceStats, NvmeDevice
+
+__all__ = [
+    "NvmeCommand",
+    "ReadCmd",
+    "WriteCmd",
+    "DeallocateCmd",
+    "NvmeDevice",
+    "DeviceStats",
+]

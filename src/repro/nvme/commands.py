@@ -1,0 +1,59 @@
+"""NVMe command records.
+
+One LBA equals one NAND page (4 KiB by default geometry); byte-granular
+callers (the WAL appender, the snapshot writer) do their own
+read-modify-write or buffering above this layer, as real passthru
+applications must.
+
+``WriteCmd.pid`` is the FDP Placement Identifier attached to the write
+(NVMe directive). On a conventional device it is ignored; on an FDP
+device it selects the Reclaim-Unit stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["NvmeCommand", "ReadCmd", "WriteCmd", "DeallocateCmd"]
+
+
+@dataclass
+class NvmeCommand:
+    """Base command: an LBA extent."""
+
+    lba: int
+    nlb: int  # number of logical blocks
+
+    def __post_init__(self) -> None:
+        if self.lba < 0:
+            raise ValueError("negative lba")
+        if self.nlb < 1:
+            raise ValueError("nlb must be >= 1")
+
+
+@dataclass
+class ReadCmd(NvmeCommand):
+    """Read ``nlb`` blocks starting at ``lba``."""
+
+
+@dataclass
+class WriteCmd(NvmeCommand):
+    """Write ``data`` (exactly ``nlb`` pages) at ``lba``.
+
+    ``data`` may be None for timing-only traffic (e.g. synthetic GC
+    pressure generators); the device then stores a zero page.
+    """
+
+    data: Optional[bytes] = None
+    pid: int = 0  # FDP placement identifier
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.pid < 0:
+            raise ValueError("negative pid")
+
+
+@dataclass
+class DeallocateCmd(NvmeCommand):
+    """TRIM an extent: drop mapping and stored data."""

@@ -1,0 +1,179 @@
+"""The NVMe device: command service loop over the FTL.
+
+The device is both a **timing model** (per-page NAND costs, die/channel
+contention, GC interference via the FTL) and a **data plane**: it
+stores the actual bytes of every written LBA in a sparse page map, so
+recovery code reads back exactly what persistence code wrote, byte for
+byte, regardless of which kernel path carried the I/O.
+
+FDP vs conventional is a construction-time choice:
+
+* ``fdp=False`` — every write lands in stream 0 whatever its PID, the
+  single-stream FTL mixes lifetimes, and GC copies produce WAF > 1.
+* ``fdp=True`` — PIDs map 1:1 to FTL streams (up to ``num_pids``,
+  8 in the paper's device), giving RU-granular lifetime separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.flash import FlashGeometry, FlashTranslationLayer, FtlConfig, NandTiming
+from repro.nvme.commands import DeallocateCmd, NvmeCommand, ReadCmd, WriteCmd
+from repro.sim import Environment
+from repro.sim.stats import Counter, LatencyRecorder
+
+__all__ = ["NvmeDevice", "DeviceStats"]
+
+_ZERO_PAGE_CACHE: dict[int, bytes] = {}
+
+
+def _zero_page(size: int) -> bytes:
+    page = _ZERO_PAGE_CACHE.get(size)
+    if page is None:
+        page = bytes(size)
+        _ZERO_PAGE_CACHE[size] = page
+    return page
+
+
+@dataclass
+class DeviceStats:
+    """Host-visible I/O accounting."""
+
+    read_cmds: int = 0
+    write_cmds: int = 0
+    deallocate_cmds: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+
+
+class NvmeDevice:
+    """One namespace of an (optionally FDP) NVMe SSD."""
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: Optional[FlashGeometry] = None,
+        timing: Optional[NandTiming] = None,
+        ftl_config: Optional[FtlConfig] = None,
+        fdp: bool = False,
+        num_pids: int = 8,
+    ):
+        self.env = env
+        self.geometry = geometry or FlashGeometry()
+        self.fdp = fdp
+        self.num_pids = num_pids
+        self.ftl = FlashTranslationLayer(env, self.geometry, timing, ftl_config)
+        if fdp:
+            for pid in range(num_pids):
+                self.ftl.register_stream(pid)
+        else:
+            self.ftl.register_stream(0)
+        self._data: dict[int, bytes] = {}
+        self.stats = DeviceStats()
+        self.counters = Counter()
+        self.write_latency = LatencyRecorder("nvme-write")
+        self.read_latency = LatencyRecorder("nvme-read")
+
+    # ------------------------------------------------------------------ capacity
+    @property
+    def num_lbas(self) -> int:
+        """Logical capacity in LBAs (= FTL logical pages)."""
+        return self.ftl.num_lpns
+
+    @property
+    def lba_size(self) -> int:
+        return self.geometry.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_lbas * self.lba_size
+
+    @property
+    def waf(self) -> float:
+        return self.ftl.stats.waf
+
+    def _check_extent(self, lba: int, nlb: int) -> None:
+        if lba < 0 or lba + nlb > self.num_lbas:
+            raise ValueError(
+                f"extent [{lba}, {lba + nlb}) outside namespace of {self.num_lbas} LBAs"
+            )
+
+    def _stream_for_pid(self, pid: int) -> int:
+        if not self.fdp:
+            return 0
+        if pid >= self.num_pids:
+            # NVMe behaviour: out-of-range placement handles fall back
+            # to default placement (stream 0) rather than erroring.
+            return 0
+        return pid
+
+    # ------------------------------------------------------------------ service
+    def submit(self, cmd: NvmeCommand) -> Generator:
+        """Service one command; a generator for process composition.
+
+        Pages within a command are issued concurrently (the device has
+        internal parallelism); the command completes when its last page
+        completes — like a real controller's completion semantics.
+        """
+        t0 = self.env.now
+        if isinstance(cmd, WriteCmd):
+            yield from self._do_write(cmd)
+            self.write_latency.record(self.env.now - t0)
+        elif isinstance(cmd, ReadCmd):
+            data = yield from self._do_read(cmd)
+            self.read_latency.record(self.env.now - t0)
+            return data
+        elif isinstance(cmd, DeallocateCmd):
+            self._check_extent(cmd.lba, cmd.nlb)
+            self.ftl.deallocate(cmd.lba, cmd.nlb)
+            for lba in range(cmd.lba, cmd.lba + cmd.nlb):
+                self._data.pop(lba, None)
+            self.stats.deallocate_cmds += 1
+        else:
+            raise TypeError(f"unknown command {cmd!r}")
+
+    def _do_write(self, cmd: WriteCmd) -> Generator:
+        self._check_extent(cmd.lba, cmd.nlb)
+        page = self.lba_size
+        if cmd.data is not None and len(cmd.data) != cmd.nlb * page:
+            raise ValueError(
+                f"data length {len(cmd.data)} != nlb*page {cmd.nlb * page}"
+            )
+        stream = self._stream_for_pid(cmd.pid)
+        procs = []
+        for i in range(cmd.nlb):
+            lba = cmd.lba + i
+            if cmd.data is not None:
+                self._data[lba] = cmd.data[i * page : (i + 1) * page]
+            else:
+                self._data[lba] = _zero_page(page)
+            procs.append(
+                self.env.process(self.ftl.write(lba, stream), name=f"wr-{lba}")
+            )
+        yield self.env.all_of(procs)
+        self.stats.write_cmds += 1
+        self.stats.pages_written += cmd.nlb
+
+    def _do_read(self, cmd: ReadCmd) -> Generator:
+        self._check_extent(cmd.lba, cmd.nlb)
+        procs = [
+            self.env.process(self.ftl.read(cmd.lba + i), name=f"rd-{cmd.lba + i}")
+            for i in range(cmd.nlb)
+        ]
+        yield self.env.all_of(procs)
+        self.stats.read_cmds += 1
+        self.stats.pages_read += cmd.nlb
+        return self.peek(cmd.lba, cmd.nlb)
+
+    # ------------------------------------------------------------------ data plane
+    def peek(self, lba: int, nlb: int = 1) -> bytes:
+        """Zero-time read of stored bytes (for assertions and recovery
+        result construction; timing must be paid via ``submit``)."""
+        self._check_extent(lba, nlb)
+        page = self.lba_size
+        return b"".join(self._data.get(lba + i, _zero_page(page)) for i in range(nlb))
+
+    def written_lbas(self) -> int:
+        return len(self._data)

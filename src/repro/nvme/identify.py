@@ -1,0 +1,85 @@
+"""NVMe identify data: controller, namespace, and FDP configuration.
+
+The real SlimIO discovers its device's capabilities through NVMe
+identify commands — notably the FDP configuration (log page 0x20-ish in
+NVMe 2.0): whether FDP is enabled on the endurance group, the Reclaim
+Unit size, and how many Reclaim Unit Handles (placement IDs) exist.
+SlimIO sizes its LBA regions and placement policy from these answers;
+this module provides the same structures so the engine does not bake
+in device knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvme.device import NvmeDevice
+
+__all__ = ["ControllerIdentity", "NamespaceIdentity", "FdpConfig", "identify"]
+
+
+@dataclass(frozen=True)
+class ControllerIdentity:
+    """Subset of Identify Controller (CNS 01h) the host cares about."""
+
+    model: str
+    serial: str
+    firmware: str
+    #: max data transfer size, in LBAs per command
+    mdts_lbas: int
+
+
+@dataclass(frozen=True)
+class NamespaceIdentity:
+    """Subset of Identify Namespace (CNS 00h)."""
+
+    nsid: int
+    num_lbas: int
+    lba_size: int
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_lbas * self.lba_size
+
+
+@dataclass(frozen=True)
+class FdpConfig:
+    """FDP configuration of the namespace's endurance group."""
+
+    enabled: bool
+    #: Reclaim Unit size in bytes (our segment size)
+    ru_bytes: int
+    #: number of Reclaim Unit Handles (usable placement IDs)
+    num_handles: int
+    #: reclaim groups (we model one)
+    num_reclaim_groups: int = 1
+
+
+@dataclass(frozen=True)
+class DeviceIdentity:
+    controller: ControllerIdentity
+    namespace: NamespaceIdentity
+    fdp: FdpConfig
+
+
+def identify(device: NvmeDevice) -> DeviceIdentity:
+    """Zero-time identify of a simulated device (admin-path query)."""
+    g = device.geometry
+    return DeviceIdentity(
+        controller=ControllerIdentity(
+            model="REPRO-SLIMIO-SIM" + ("-FDP" if device.fdp else ""),
+            serial=f"S{g.total_dies:02d}D{g.segments:04d}",
+            firmware="1.0.0",
+            mdts_lbas=1024,
+        ),
+        namespace=NamespaceIdentity(
+            nsid=1,
+            num_lbas=device.num_lbas,
+            lba_size=device.lba_size,
+        ),
+        fdp=FdpConfig(
+            enabled=device.fdp,
+            ru_bytes=g.segment_bytes,
+            num_handles=device.num_pids if device.fdp else 0,
+        ),
+    )

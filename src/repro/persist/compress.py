@@ -1,0 +1,75 @@
+"""Compression: real bytes, modeled CPU cost.
+
+Redis compresses snapshot objects with LZF. Here the *data plane* uses
+zlib (stdlib, deterministic, round-trips exactly) while the *time
+plane* charges CPU from a calibrated model — LZF-class bandwidth plus a
+per-object overhead. The per-object overhead is what makes the YCSB-A
+snapshot (many small values) slower than the redis-benchmark snapshot
+(fewer large values), as in the paper's §5.2 snapshot-time discussion.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["CompressionModel", "Compressor"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """CPU cost model for an LZF-class codec."""
+
+    #: compression throughput (bytes/s of input). Calibrated so the
+    #: snapshot is compute-bound relative to the device, as in the
+    #: paper (20 GB snapshots take 110-150 s on a ~1.3 GB/s device).
+    compress_bandwidth: float = 120 * MB
+    #: decompression throughput (bytes/s of output)
+    decompress_bandwidth: float = 600 * MB
+    #: fixed CPU per compressed object/chunk (call + dispatch overhead)
+    per_object_overhead: float = 0.8e-6
+
+    def compress_time(self, raw_len: int, n_objects: int = 1) -> float:
+        return raw_len / self.compress_bandwidth + n_objects * self.per_object_overhead
+
+    def decompress_time(self, raw_len: int, n_objects: int = 1) -> float:
+        return (
+            raw_len / self.decompress_bandwidth
+            + n_objects * self.per_object_overhead
+        )
+
+    def __post_init__(self) -> None:
+        if self.compress_bandwidth <= 0 or self.decompress_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.per_object_overhead < 0:
+            raise ValueError("per_object_overhead must be >= 0")
+
+
+class Compressor:
+    """zlib-backed codec with optional passthrough for tests."""
+
+    def __init__(self, level: int = 1, enabled: bool = True,
+                 model: CompressionModel | None = None):
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+        self.enabled = enabled
+        self.model = model or CompressionModel()
+
+    def compress(self, raw: bytes) -> bytes:
+        if not self.enabled:
+            return raw
+        return zlib.compress(raw, self.level)
+
+    def decompress(self, blob: bytes, raw_len: int | None = None) -> bytes:
+        if not self.enabled:
+            return blob
+        return zlib.decompress(blob)
+
+    def ratio(self, raw: bytes) -> float:
+        """Compressed/raw size for this payload (1.0 if disabled)."""
+        if not raw:
+            return 1.0
+        return len(self.compress(raw)) / len(raw)

@@ -1,0 +1,255 @@
+"""Binary codecs for the WAL (AOF) and snapshots (RDB).
+
+Both formats are CRC-protected and designed for the failure modes the
+recovery path must survive:
+
+* **AOF records** are self-delimiting; replay stops cleanly at the
+  first torn or corrupt record (a crash mid-append), keeping everything
+  before it.
+* **RDB streams** are chunked — each chunk is a compressed batch of
+  entries with its own CRC — so a snapshot can be written incrementally
+  (iterate → compress → write, as the Redis child does) and a partially
+  written snapshot is detected and rejected as a whole via the footer.
+
+Layouts (little-endian):
+
+AOF record:   magic u8 (0xA5) | op u8 | klen u32 | vlen u32 | key | val | crc32 u32
+RDB header:   b"REPRO-RDB1" | flags u16 | reserved u32
+RDB chunk:    magic u8 (0xC7) | n_entries u32 | raw_len u32 | comp_len u32 | blob | crc32 u32
+RDB footer:   magic u8 (0xF0) | total_entries u64 | total_chunks u32 | crc32 u32
+Chunk blob (decompressed): n_entries × (klen u32 | vlen u32 | key | val)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.persist.compress import Compressor
+
+__all__ = [
+    "OP_SET",
+    "OP_DEL",
+    "AofRecord",
+    "AofCodec",
+    "CorruptRecord",
+    "RdbWriter",
+    "RdbReader",
+]
+
+OP_SET = 1
+OP_DEL = 2
+
+_AOF_MAGIC = 0xA5
+_AOF_HDR = struct.Struct("<BBII")
+_CRC = struct.Struct("<I")
+
+_RDB_MAGIC = b"REPRO-RDB1"
+_RDB_HDR = struct.Struct("<10sHI")
+_CHUNK_MAGIC = 0xC7
+_CHUNK_HDR = struct.Struct("<BIII")
+_FOOTER_MAGIC = 0xF0
+_FOOTER = struct.Struct("<BQII")
+_ENTRY_HDR = struct.Struct("<II")
+
+
+class CorruptRecord(Exception):
+    """A record failed structural or CRC validation."""
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class AofRecord:
+    """One logged write command."""
+
+    op: int
+    key: bytes
+    value: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_SET, OP_DEL):
+            raise ValueError(f"bad op {self.op}")
+        if self.op == OP_DEL and self.value:
+            raise ValueError("DEL records carry no value")
+
+
+class AofCodec:
+    """Encode/decode AOF records."""
+
+    @staticmethod
+    def encode(record: AofRecord) -> bytes:
+        hdr = _AOF_HDR.pack(_AOF_MAGIC, record.op, len(record.key),
+                            len(record.value))
+        body = hdr + record.key + record.value
+        return body + _CRC.pack(_crc(body))
+
+    @staticmethod
+    def encoded_size(key_len: int, value_len: int) -> int:
+        return _AOF_HDR.size + key_len + value_len + _CRC.size
+
+    @staticmethod
+    def decode_stream(data: bytes) -> Iterator[AofRecord]:
+        """Yield records until the stream ends or turns invalid.
+
+        A torn tail (crash mid-append) terminates iteration silently —
+        exactly Redis's ``aof-load-truncated`` behaviour. A corrupt
+        *interior* is indistinguishable from a torn tail here, which is
+        the conservative choice: stop replaying at first doubt.
+        """
+        pos = 0
+        n = len(data)
+        while pos + _AOF_HDR.size <= n:
+            magic, op, klen, vlen = _AOF_HDR.unpack_from(data, pos)
+            if magic != _AOF_MAGIC or op not in (OP_SET, OP_DEL):
+                return
+            end = pos + _AOF_HDR.size + klen + vlen + _CRC.size
+            if end > n:
+                return  # torn record
+            body = data[pos : end - _CRC.size]
+            (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+            if crc != _crc(body):
+                return
+            key = body[_AOF_HDR.size : _AOF_HDR.size + klen]
+            value = body[_AOF_HDR.size + klen :]
+            yield AofRecord(op=op, key=bytes(key), value=bytes(value))
+            pos = end
+
+
+class RdbWriter:
+    """Incremental snapshot encoder: header, chunks, footer."""
+
+    def __init__(self, compressor: Optional[Compressor] = None):
+        self.compressor = compressor or Compressor()
+        self._entries = 0
+        self._chunks = 0
+        self._finished = False
+        self._header_emitted = False
+
+    def header(self) -> bytes:
+        if self._header_emitted:
+            raise RuntimeError("header already emitted")
+        self._header_emitted = True
+        return _RDB_HDR.pack(_RDB_MAGIC, 1 if self.compressor.enabled else 0, 0)
+
+    def chunk(self, entries: Iterable[tuple[bytes, bytes]]) -> bytes:
+        """Encode one batch of (key, value) pairs."""
+        if not self._header_emitted:
+            raise RuntimeError("emit header first")
+        if self._finished:
+            raise RuntimeError("writer finished")
+        parts = []
+        count = 0
+        for key, value in entries:
+            parts.append(_ENTRY_HDR.pack(len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+            count += 1
+        raw = b"".join(parts)
+        blob = self.compressor.compress(raw)
+        hdr = _CHUNK_HDR.pack(_CHUNK_MAGIC, count, len(raw), len(blob))
+        body = hdr + blob
+        self._entries += count
+        self._chunks += 1
+        return body + _CRC.pack(_crc(body))
+
+    def footer(self) -> bytes:
+        if self._finished:
+            raise RuntimeError("footer already emitted")
+        self._finished = True
+        body = _FOOTER.pack(_FOOTER_MAGIC, self._entries, self._chunks, 0)[: -_CRC.size]
+        return body + _CRC.pack(_crc(body))
+
+    @property
+    def entries_written(self) -> int:
+        return self._entries
+
+
+class RdbReader:
+    """Validating snapshot decoder."""
+
+    def __init__(self, compressor: Optional[Compressor] = None):
+        self.compressor = compressor or Compressor()
+
+    def read_all(self, data: bytes) -> list[tuple[bytes, bytes]]:
+        """Decode a complete snapshot; raises :class:`CorruptRecord` on
+        any structural damage (truncation, bad CRC, missing footer)."""
+        out: list[tuple[bytes, bytes]] = []
+        pos = self._check_header(data)
+        entries = 0
+        chunks = 0
+        n = len(data)
+        while True:
+            if pos >= n:
+                raise CorruptRecord("snapshot ended before footer")
+            magic = data[pos]
+            if magic == _FOOTER_MAGIC:
+                self._check_footer(data, pos, entries, chunks)
+                return out
+            if magic != _CHUNK_MAGIC:
+                raise CorruptRecord(f"bad chunk magic {magic:#x} at {pos}")
+            if pos + _CHUNK_HDR.size > n:
+                raise CorruptRecord("truncated chunk header")
+            _, count, raw_len, comp_len = _CHUNK_HDR.unpack_from(data, pos)
+            end = pos + _CHUNK_HDR.size + comp_len + _CRC.size
+            if end > n:
+                raise CorruptRecord("truncated chunk body")
+            body = data[pos : end - _CRC.size]
+            (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+            if crc != _crc(body):
+                raise CorruptRecord(f"chunk CRC mismatch at {pos}")
+            blob = body[_CHUNK_HDR.size :]
+            raw = self.compressor.decompress(bytes(blob), raw_len)
+            if len(raw) != raw_len:
+                raise CorruptRecord("decompressed length mismatch")
+            out.extend(self._decode_entries(raw, count))
+            entries += count
+            chunks += 1
+            pos = end
+
+    def _check_header(self, data: bytes) -> int:
+        if len(data) < _RDB_HDR.size:
+            raise CorruptRecord("truncated header")
+        magic, flags, _ = _RDB_HDR.unpack_from(data, 0)
+        if magic != _RDB_MAGIC:
+            raise CorruptRecord("bad RDB magic")
+        compressed = bool(flags & 1)
+        if compressed != self.compressor.enabled:
+            raise CorruptRecord("compression flag mismatch")
+        return _RDB_HDR.size
+
+    def _check_footer(self, data: bytes, pos: int, entries: int,
+                      chunks: int) -> None:
+        if pos + _FOOTER.size > len(data):
+            raise CorruptRecord("truncated footer")
+        magic, total_entries, total_chunks, _pad = _FOOTER.unpack_from(data, pos)
+        body = data[pos : pos + _FOOTER.size - _CRC.size]
+        (crc,) = _CRC.unpack_from(data, pos + _FOOTER.size - _CRC.size)
+        if crc != _crc(body):
+            raise CorruptRecord("footer CRC mismatch")
+        if total_entries != entries or total_chunks != chunks:
+            raise CorruptRecord(
+                f"footer counts ({total_entries}/{total_chunks}) != "
+                f"observed ({entries}/{chunks})"
+            )
+
+    @staticmethod
+    def _decode_entries(raw: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        out = []
+        pos = 0
+        for _ in range(count):
+            if pos + _ENTRY_HDR.size > len(raw):
+                raise CorruptRecord("truncated entry header")
+            klen, vlen = _ENTRY_HDR.unpack_from(raw, pos)
+            pos += _ENTRY_HDR.size
+            if pos + klen + vlen > len(raw):
+                raise CorruptRecord("truncated entry body")
+            out.append((raw[pos : pos + klen], raw[pos + klen : pos + klen + vlen]))
+            pos += klen + vlen
+        if pos != len(raw):
+            raise CorruptRecord("trailing bytes in chunk")
+        return out

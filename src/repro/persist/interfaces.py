@@ -1,0 +1,84 @@
+"""Transport interfaces between persistence logic and I/O paths.
+
+The WAL manager and snapshot writer are transport-agnostic; the
+baseline provides file-backed implementations (traditional kernel
+path), SlimIO provides LBA-region implementations (io_uring passthru).
+All methods that perform I/O are simulation generators taking the
+calling process's :class:`~repro.kernel.accounting.CpuAccount`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator
+
+from repro.kernel.accounting import CpuAccount
+
+__all__ = ["AppendSink", "SnapshotSink", "SnapshotSource"]
+
+
+class AppendSink(ABC):
+    """Durable append log (the WAL's storage end)."""
+
+    @abstractmethod
+    def append(self, data: bytes, account: CpuAccount) -> Generator:
+        """Stage ``data`` at the log tail (buffered; cheap)."""
+
+    @abstractmethod
+    def flush(self, account: CpuAccount) -> Generator:
+        """Force everything appended so far to be durable on device."""
+
+    @abstractmethod
+    def begin_generation(self, account: CpuAccount) -> Generator:
+        """Start a new log generation (at snapshot fork time). The
+        previous generation stays readable until
+        :meth:`retire_previous` — a failed snapshot must leave the full
+        record chain replayable."""
+
+    @abstractmethod
+    def retire_previous(self, account: CpuAccount) -> Generator:
+        """Drop the previous generation (the covering snapshot is now
+        durable — paper §2.1/§4.2 ordering)."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Bytes appended to the current log generation."""
+
+    @abstractmethod
+    def read_all(self, account: CpuAccount) -> Generator:
+        """Read every live generation, oldest first (recovery replay)."""
+
+
+class SnapshotSink(ABC):
+    """Write-once snapshot target (one snapshot generation)."""
+
+    @abstractmethod
+    def write(self, data: bytes, account: CpuAccount) -> Generator:
+        """Append the next piece of the snapshot stream."""
+
+    @abstractmethod
+    def finalize(self, account: CpuAccount) -> Generator:
+        """Make the snapshot durable and atomically publish it (rename
+        over the old file / promote the reserve slot)."""
+
+    @abstractmethod
+    def abort(self) -> None:
+        """Discard a partially written snapshot (zero-time bookkeeping)."""
+
+    @property
+    @abstractmethod
+    def bytes_written(self) -> int: ...
+
+
+class SnapshotSource(ABC):
+    """Sequential reader over the latest published snapshot."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int, account: CpuAccount) -> Generator:
+        """Read ``length`` bytes at ``offset`` of the snapshot stream."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Total bytes of the published snapshot."""

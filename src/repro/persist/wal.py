@@ -1,0 +1,293 @@
+"""Write-Ahead Log manager with Redis's two logging policies.
+
+Faithful to how Redis actually schedules AOF I/O:
+
+* the ``write()`` into the kernel happens **on the main thread** — in
+  Redis, ``flushAppendOnlyFile`` runs in the event loop before it
+  sleeps. Here, the server calls :meth:`idle_drain` whenever its CPU
+  goes idle, and the drain *holds the server CPU* while the sink
+  appends. On the baseline this is the per-batch syscall/copy/journal
+  tax of §3.1.1; on SlimIO's WAL-Path an append is user-space staging
+  and costs nothing.
+* **Periodical-Log** (``appendfsync everysec``): records are staged in
+  the user-level buffer, appended on idle/deadline, and made durable
+  (fsync / passthru write) once per ``flush_interval`` by a background
+  flusher — queries never wait.
+* **Always-Log** (``appendfsync always``): a write query completes only
+  when its record is durable. Concurrent queries **group-commit**: the
+  first waiter drains everything staged so far in one sink operation,
+  later waiters discover their record already durable.
+
+Generation rotation (at the snapshot fork) and retirement (after the
+snapshot is durable) follow §2.1/§4.2: ``rotate_begin`` is synchronous
+at the fork instant; the old generation replays until
+``retire_previous``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+from repro.kernel.accounting import CpuAccount
+from repro.persist.encoding import AofCodec, AofRecord
+from repro.persist.interfaces import AppendSink
+from repro.sim import Environment, Event, Resource
+from repro.sim.stats import Counter
+
+__all__ = ["LoggingPolicy", "WalManager"]
+
+
+class LoggingPolicy(enum.Enum):
+    PERIODICAL = "periodical"
+    ALWAYS = "always"
+
+
+class WalManager:
+    """Buffers, encodes, appends, and syncs write-ahead-log records."""
+
+    def __init__(
+        self,
+        env: Environment,
+        sink: AppendSink,
+        account: CpuAccount,
+        policy: LoggingPolicy = LoggingPolicy.PERIODICAL,
+        flush_interval: float = 1.0,
+        buffer_limit_bytes: int = 32 * 1024 * 1024,
+    ):
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        self.env = env
+        self.sink = sink
+        self.account = account
+        self.policy = policy
+        self.flush_interval = flush_interval
+        self.buffer_limit = buffer_limit_bytes
+
+        self._buffer: list[bytes] = []
+        self._buffer_bytes = 0
+        self._old_buffer: list[bytes] = []  # pre-fork records awaiting flush
+        self._boundary_pending = 0  # generation switches not yet at the sink
+        self._logged_bytes = 0  # current generation, incl. buffered
+        self._staged_seq = 0  # last staged record
+        self._durable_seq = 0  # last record known durable
+        self._sink_lock = Resource(env, capacity=1)
+        self._idle_drain_active = False
+        self._flush_kick: Optional[Event] = None
+        self._capacity_waiters: list[Event] = []
+        self._closing = False
+        self.counters = Counter()
+        if policy is LoggingPolicy.PERIODICAL:
+            env.process(self._flusher(), name="wal-flusher")
+
+    # ------------------------------------------------------------------ staging
+    def stage(self, record: AofRecord) -> int:
+        """Buffer one record (synchronous); returns its sequence number."""
+        data = AofCodec.encode(record)
+        self._buffer.append(data)
+        self._buffer_bytes += len(data)
+        self._logged_bytes += len(data)
+        self._staged_seq += 1
+        self.counters.add("records")
+        if self._buffer_bytes >= self.buffer_limit:
+            self._kick()
+        return self._staged_seq
+
+    def log(self, record: AofRecord) -> Generator:
+        """Stage + (for Always-Log) wait for durability. Convenience for
+        callers outside the server's CPU discipline."""
+        seq = self.stage(record)
+        if self.policy is LoggingPolicy.ALWAYS:
+            yield from self.ensure_durable(seq)
+
+    @property
+    def over_buffer_limit(self) -> bool:
+        return self._buffer_bytes >= self.buffer_limit
+
+    def wait_capacity(self) -> Generator:
+        """Block until the user buffer drains below the hard limit.
+
+        Redis's AOF hard limit: when the device cannot keep up (e.g.
+        SSD GC) and the buffer overgrows, write queries block — the
+        mechanism behind Figure 4's RPS nosedives on the non-FDP
+        device.
+        """
+        while self._buffer_bytes >= self.buffer_limit and not self._closing:
+            self._kick()
+            waiter = self.env.event()
+            self._capacity_waiters.append(waiter)
+            yield waiter
+            self.counters.add("backpressure_waits")
+
+    @property
+    def size(self) -> int:
+        """Total bytes in the current WAL generation (trigger metric)."""
+        return self._logged_bytes
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._buffer_bytes
+
+    # ------------------------------------------------------------------ durability
+    def ensure_durable(self, seq: int) -> Generator:
+        """Group commit: returns once record ``seq`` is durable."""
+        while self._durable_seq < seq:
+            req = self._sink_lock.request()
+            yield req
+            try:
+                if self._durable_seq >= seq:
+                    return
+                yield from self._cross_boundary_locked()
+                yield from self._drain_locked(fsync=True)
+            finally:
+                self._sink_lock.release(req)
+            self.counters.add("group_commits")
+
+    def flush_now(self) -> Generator:
+        """Drain, then make everything appended so far durable.
+
+        The fsync happens OUTSIDE the sink lock: Redis's everysec fsync
+        runs on a background thread while the main loop keeps appending
+        to the same file — serializing them would turn every slow fsync
+        (e.g. during device GC) into an artificial append stall.
+        """
+        req = self._sink_lock.request()
+        yield req
+        try:
+            yield from self._cross_boundary_locked()
+            top = self._staged_seq
+            yield from self._drain_locked(fsync=False)
+        finally:
+            self._sink_lock.release(req)
+        yield from self.sink.flush(self.account)
+        self._durable_seq = max(self._durable_seq, top)
+        self.counters.add("sync_flushes")
+
+    # ------------------------------------------------------------------ idle drain
+    def idle_drain(self, cpu: Resource):
+        """The main-thread ``write()``: schedule a drain that holds the
+        server CPU while the sink appends (no fsync). Called by the
+        server whenever its CPU goes idle; no-op if nothing is staged
+        or a drain is already pending."""
+        if (
+            self.policy is not LoggingPolicy.PERIODICAL
+            or self._idle_drain_active
+            or (not self._buffer and not self._boundary_pending)
+            or self._closing
+            # sink busy (flusher mid-drain): don't capture the server
+            # CPU just to queue behind it — next idle tick will drain
+            or self._sink_lock.count > 0
+        ):
+            return None
+        self._idle_drain_active = True
+        return self.env.process(self._idle_drain_body(cpu), name="wal-write")
+
+    def _idle_drain_body(self, cpu: Resource) -> Generator:
+        # lock order: sink THEN cpu — never hold the server CPU while
+        # queueing behind a (device-speed) flush of the sink
+        req = self._sink_lock.request()
+        yield req
+        try:
+            # generation switch I/O (flush old gen, write metadata) is
+            # sink-side work — it must not stall the query loop
+            yield from self._cross_boundary_locked()
+            cpu_req = cpu.request()
+            yield cpu_req
+            try:
+                yield from self._drain_locked(fsync=False)
+            finally:
+                cpu.release(cpu_req)
+            self.counters.add("idle_writes")
+        finally:
+            self._sink_lock.release(req)
+            self._idle_drain_active = False
+
+    # ------------------------------------------------------------------ internals
+    def _cross_boundary_locked(self) -> Generator:
+        """Complete a pending generation switch at the sink: pre-fork
+        records flush into the old generation first."""
+        while self._boundary_pending:
+            old = self._old_buffer
+            self._old_buffer = []
+            self._boundary_pending -= 1
+            if old:
+                yield from self.sink.append(b"".join(old), self.account)
+                yield from self.sink.flush(self.account)
+            yield from self.sink.begin_generation(self.account)
+
+    def _drain_locked(self, fsync: bool) -> Generator:
+        top = self._staged_seq
+        if self._buffer:
+            data = b"".join(self._buffer)
+            self._buffer.clear()
+            self._buffer_bytes = 0
+            yield from self.sink.append(data, self.account)
+            self.counters.add("drains")
+            self.counters.add("drained_bytes", len(data))
+            if self._capacity_waiters and self._buffer_bytes < self.buffer_limit:
+                waiters, self._capacity_waiters = self._capacity_waiters, []
+                for w in waiters:
+                    w.succeed()
+        if fsync:
+            yield from self.sink.flush(self.account)
+            self._durable_seq = max(self._durable_seq, top)
+            self.counters.add("sync_flushes")
+
+    def _kick(self) -> None:
+        if self._flush_kick is not None and not self._flush_kick.triggered:
+            self._flush_kick.succeed()
+
+    def _flusher(self) -> Generator:
+        while not self._closing:
+            self._flush_kick = self.env.event()
+            yield self.env.any_of(
+                [self._flush_kick, self.env.timeout(self.flush_interval)]
+            )
+            self._flush_kick = None
+            if self._closing:
+                return
+            yield from self.flush_now()
+            self.counters.add("periodic_flushes")
+
+    def close(self) -> None:
+        """Stop the background flusher (end of run)."""
+        self._closing = True
+        self._kick()
+        waiters, self._capacity_waiters = self._capacity_waiters, []
+        for w in waiters:
+            w.succeed()
+
+    # ------------------------------------------------------------------ rotation
+    def rotate_begin(self) -> None:
+        """Switch generations at the fork instant — synchronous.
+
+        Records logged before this call belong to the old generation
+        (their effects are inside the snapshot being taken); records
+        logged after belong to the new one. The sink's actual switch
+        happens under the sink lock at the next drain, preserving
+        append order.
+        """
+        self._old_buffer.extend(self._buffer)
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self._boundary_pending += 1
+        self._logged_bytes = 0
+        self.counters.add("rotations")
+        self._kick()
+
+    def retire_previous(self) -> Generator:
+        """Drop the pre-snapshot generation (snapshot is now durable)."""
+        req = self._sink_lock.request()
+        yield req
+        try:
+            yield from self._cross_boundary_locked()
+            yield from self.sink.retire_previous(self.account)
+        finally:
+            self._sink_lock.release(req)
+        self.counters.add("retirements")
+
+    # ------------------------------------------------------------------ recovery
+    def read_records(self, account: CpuAccount) -> Generator:
+        """Read and decode all live generations (replay)."""
+        raw = yield from self.sink.read_all(account)
+        return list(AofCodec.decode_stream(raw))

@@ -1,0 +1,440 @@
+"""Core event loop: environment, events, timeouts, processes.
+
+The design follows the classic process-interaction style (as in simpy):
+
+* :class:`Event` — a one-shot occurrence with callbacks and a value.
+* :class:`Timeout` — an event scheduled ``delay`` time units ahead.
+* :class:`Process` — wraps a generator; each ``yield``ed event suspends
+  the process until the event fires, at which point the event's value
+  is sent back into the generator (or its exception thrown).
+* :class:`Environment` — the clock plus the pending-event heap.
+
+Time is a float. The engine is single-threaded and deterministic:
+events scheduled for the same instant fire in FIFO order of scheduling
+(stable tiebreak by a monotonically increasing sequence number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "StopProcess",
+    "Event",
+    "Timeout",
+    "Process",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever object the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Raised internally to stop a process early with a return value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, scheduling its callbacks to run at the current
+    simulation time. Processes wait on events by ``yield``ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_state", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = _PENDING
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (valid once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event that nobody waits on raises at the end of the
+        run unless :meth:`defused` was set by a waiter.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+        if self._exc is not None and not self._defused:
+            raise self._exc
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}[
+            self._state
+        ]
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)  # type: ignore[union-attr]
+        self._value = None
+        self._state = _TRIGGERED
+        env._schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running process; also an event that fires when it terminates.
+
+    The wrapped generator yields :class:`Event` instances. When a
+    yielded event succeeds, its value is sent into the generator; when
+    it fails, the exception is thrown in (and the event is defused, so
+    the failure does not crash the run unless it escapes the process).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process is rescheduled immediately; the event it was
+        waiting on stays pending (the process may re-wait on it).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)  # type: ignore[union-attr]
+        interrupt_ev.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        # Detach from the event we were waiting for (on interrupt, the
+        # original target may still be pending; drop our callback).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        if not self.is_alive:
+            return
+
+        self.env._active = self
+        try:
+            if event._exc is None:
+                next_ev = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_ev = self._generator.throw(event._exc)
+        except StopIteration as stop:
+            self.env._active = None
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            self.env._active = None
+            self._generator.close()
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active = None
+            self.fail(exc)
+            return
+        self.env._active = None
+
+        if not isinstance(next_ev, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {next_ev!r}"
+            )
+        if next_ev.env is not self.env:
+            raise SimulationError("yielded event belongs to another environment")
+        if next_ev.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self._target = immediate
+            if next_ev._exc is None:
+                immediate.succeed(next_ev._value)
+            else:
+                next_ev._defused = True
+                immediate.fail(next_ev._exc)
+        else:
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value for fired condition members."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events}
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf — fires when ``_check`` is satisfied."""
+
+    __slots__ = ("_events", "_fired_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._fired_count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition spans environments")
+        # Register after validation so no callbacks dangle on error.
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._on_member(ev)
+            else:
+                ev.callbacks.append(self._on_member)
+        if not self._events and self._state == _PENDING:
+            self.succeed(ConditionValue())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _on_member(self, event: Event) -> None:
+        if self._state != _PENDING:
+            if event._exc is not None:
+                event._defused = True
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self._fired_count += 1
+        if self._satisfied():
+            value = ConditionValue()
+            for ev in self._events:
+                # A Timeout is "triggered" from birth (it is scheduled);
+                # only count members whose callbacks have actually run.
+                if ev.processed and ev._exc is None:
+                    value.events.append(ev)
+            self.succeed(value)
+
+
+class AllOf(_Condition):
+    """Fires when every member event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._fired_count == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Fires when at least one member event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._fired_count >= 1
+
+
+class Environment:
+    """The simulation clock and event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``until=None`` — run until the heap empties.
+        * number — run until the clock reaches that time.
+        * :class:`Event` — run until it fires; returns its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel: list[Any] = []
+            if until.callbacks is not None:
+                until.callbacks.append(lambda ev: sentinel.append(ev))
+            else:
+                sentinel.append(until)
+            while not sentinel:
+                if not self._heap:
+                    raise SimulationError(
+                        "event heap exhausted before awaited event fired"
+                    )
+                self.step()
+            return until.value
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= stop_at:
+            self.step()
+        self._now = stop_at
+        return None

@@ -1,0 +1,254 @@
+"""Shared resources for processes: locks, capacity pools, queues.
+
+These model the contention points in the reproduction:
+
+* :class:`Lock` — the EXT4 journal commit lock, the fork/CoW page lock.
+* :class:`Resource` — bounded service slots (e.g. NVMe die occupancy).
+* :class:`PriorityResource` — the sync-priority block scheduler, where
+  WAL (synchronous) writes overtake queued snapshot writes.
+* :class:`Store` — FIFO queues (submission/completion rings, mailboxes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Request", "Release", "Resource", "PriorityResource", "Lock", "Store"]
+
+
+class Request(Event):
+    """Pending acquisition of a resource slot.
+
+    Fires when the slot is granted. Must be paired with
+    ``resource.release(request)``. Supports use as a context manager in
+    process code::
+
+        req = resource.request()
+        yield req
+        ...critical section...
+        resource.release(req)
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._key = (priority, resource._seq)
+        resource._seq += 1
+        resource._enqueue(self)
+        resource._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (e.g. after an Interrupt)."""
+        if not self.triggered:
+            self.resource._remove(self)
+
+
+class Release(Event):
+    """Immediate event confirming a release (fires at once)."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._queue: deque[Request] = deque()
+        self._seq = 0
+
+    # queue discipline hooks -------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def _remove(self, request: Request) -> None:
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
+    # public API --------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        if request not in self.users:
+            raise ValueError("releasing a request that does not hold the resource")
+        self.users.remove(request)
+        ev = Release(self.env)
+        ev.succeed()
+        self._trigger()
+        return ev
+
+    def _trigger(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._dequeue()
+            if nxt is None:
+                return
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by ``priority`` (lower first).
+
+    Ties break FIFO via the per-resource sequence number.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pqueue: list[tuple[tuple[float, int], Request]] = []
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(self._pqueue, (request._key, request))
+
+    def _dequeue(self) -> Optional[Request]:
+        if self._pqueue:
+            _key, req = heapq.heappop(self._pqueue)
+            return req
+        return None
+
+    def _remove(self, request: Request) -> None:
+        for i, (_k, req) in enumerate(self._pqueue):
+            if req is request:
+                self._pqueue.pop(i)
+                heapq.heapify(self._pqueue)
+                return
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._pqueue)
+
+
+class Lock(Resource):
+    """Convenience: a capacity-1 resource with hold-time accounting.
+
+    ``held_time`` accumulates total time the lock was held and
+    ``contended_time`` accumulates waiter-observed waiting time, which
+    feeds the file-system contention tables (paper Table 2).
+    """
+
+    def __init__(self, env: Environment):
+        super().__init__(env, capacity=1)
+        self.held_time = 0.0
+        self.contended_time = 0.0
+        self._acquired_at: dict[Request, float] = {}
+        self._requested_at: dict[Request, float] = {}
+
+    def request(self, priority: float = 0.0) -> Request:
+        req = super().request(priority)
+        if not req.triggered:
+            self._requested_at[req] = self.env.now
+
+        def _on_grant(ev: Event) -> None:
+            self._acquired_at[req] = self.env.now
+            t0 = self._requested_at.pop(req, None)
+            if t0 is not None:
+                self.contended_time += self.env.now - t0
+
+        if req.triggered:
+            self._acquired_at[req] = self.env.now
+        else:
+            req.callbacks.append(_on_grant)  # type: ignore[union-attr]
+        return req
+
+    def release(self, request: Request) -> Release:
+        t0 = self._acquired_at.pop(request, None)
+        if t0 is not None:
+            self.held_time += self.env.now - t0
+        return super().release(request)
+
+    @property
+    def locked(self) -> bool:
+        return self.count > 0
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._puts.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._gets.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO item queue with optional capacity (blocking puts when full).
+
+    Models SQ/CQ rings and inter-process mailboxes. ``put`` returns an
+    event that fires once the item is accepted; ``get`` returns an event
+    that fires with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._puts: deque[StorePut] = deque()
+        self._gets: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def try_get(self) -> Any:
+        """Non-blocking pop; returns the item or None if empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._trigger()
+            return item
+        return None
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,78 @@
+"""Lightweight event tracing for simulation debugging.
+
+A :class:`Tracer` collects timestamped records from any component that
+chooses to emit them; traces can be filtered by component and rendered
+as a merged chronology. The overhead is one list append per record and
+nothing at all when disabled, so instrumentation can stay in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.sim.engine import Environment
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    t: float
+    component: str
+    event: str
+    detail: Any = None
+
+    def render(self) -> str:
+        detail = f" {self.detail}" if self.detail is not None else ""
+        return f"[{self.t * 1e3:10.4f} ms] {self.component:12s} {self.event}{detail}"
+
+
+class Tracer:
+    """A per-environment trace buffer."""
+
+    def __init__(self, env: Environment, enabled: bool = True,
+                 capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, component: str, event: str, detail: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(
+            TraceRecord(self.env.now, component, event, detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, component: Optional[str] = None,
+                since: float = 0.0) -> list[TraceRecord]:
+        return [
+            r for r in self._records
+            if (component is None or r.component == component)
+            and r.t >= since
+        ]
+
+    def components(self) -> set[str]:
+        return {r.component for r in self._records}
+
+    def render(self, component: Optional[str] = None, last: int = 0) -> str:
+        recs = self.records(component)
+        if last:
+            recs = recs[-last:]
+        return "\n".join(r.render() for r in recs)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0

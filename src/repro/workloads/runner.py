@@ -1,0 +1,224 @@
+"""Closed-loop workload drivers and the measurement report.
+
+A workload pre-draws its whole operation sequence (vectorized numpy),
+spawns N client processes that pull from the shared sequence, runs the
+simulation to completion (including any in-flight snapshot), and
+summarizes everything the paper's tables read off a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.imdb import ClientOp
+from repro.persist import SnapshotKind
+from repro.workloads.keys import UniformKeys, ZipfianKeys, make_key, make_value
+
+__all__ = ["WorkloadReport", "ClosedLoopWorkload", "RedisBenchWorkload",
+           "YcsbAWorkload"]
+
+
+@dataclass
+class WorkloadReport:
+    """Everything measured from one workload run."""
+
+    ops: int = 0
+    duration: float = 0.0
+    rps: float = 0.0
+    rps_wal_only: float = 0.0
+    rps_wal_snapshot: float = 0.0
+    set_p999: float = float("nan")
+    get_p999: float = float("nan")
+    set_mean: float = float("nan")
+    steady_memory: float = 0.0
+    peak_memory: float = 0.0
+    snapshot_times: list[float] = field(default_factory=list)
+    snapshot_count: int = 0
+    waf: float = 1.0
+    gc_segments_erased: int = 0
+    timeline: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    @property
+    def mean_snapshot_time(self) -> float:
+        return float(np.mean(self.snapshot_times)) if self.snapshot_times \
+            else float("nan")
+
+
+class ClosedLoopWorkload:
+    """N clients, zero think time, a shared pre-drawn op sequence."""
+
+    def __init__(
+        self,
+        clients: int = 8,
+        total_ops: int = 5_000,
+        key_count: int = 1_000,
+        value_size: int = 1024,
+        get_ratio: float = 0.0,
+        zipfian: bool = False,
+        seed: int = 7,
+        key_width: int = 8,
+        preload_records: int = 0,
+        snapshot_at_fraction: Optional[float] = None,
+        incompressible_fraction: float = 0.6,
+    ):
+        if clients < 1 or total_ops < 1:
+            raise ValueError("clients and total_ops must be >= 1")
+        if not 0.0 <= get_ratio <= 1.0:
+            raise ValueError("get_ratio must be in [0, 1]")
+        self.clients = clients
+        self.total_ops = total_ops
+        self.key_count = key_count
+        self.value_size = value_size
+        self.get_ratio = get_ratio
+        self.zipfian = zipfian
+        self.seed = seed
+        self.key_width = key_width
+        self.preload_records = preload_records
+        self.snapshot_at_fraction = snapshot_at_fraction
+        self.incompressible_fraction = incompressible_fraction
+
+    # ------------------------------------------------------------------ sequence
+    def _draw_sequence(self) -> tuple[np.ndarray, np.ndarray]:
+        gen = (
+            ZipfianKeys(self.key_count, seed=self.seed)
+            if self.zipfian
+            else UniformKeys(self.key_count, seed=self.seed)
+        )
+        keys = gen.draw(self.total_ops)
+        rng = np.random.default_rng(self.seed ^ 0xBEEF)
+        is_get = rng.random(self.total_ops) < self.get_ratio
+        return keys, is_get
+
+    def _op(self, key_idx: int, is_get: bool) -> ClientOp:
+        key = make_key(int(key_idx), self.key_width)
+        if is_get:
+            return ClientOp("GET", key)
+        return ClientOp(
+            "SET", key,
+            make_value(key, self.value_size, self.incompressible_fraction),
+        )
+
+    # ------------------------------------------------------------------ running
+    def preload(self, system) -> None:
+        """Load initial records directly (setup phase, zero sim time)."""
+        for i in range(self.preload_records):
+            key = make_key(i, self.key_width)
+            system.server.store.set(
+                key, make_value(key, self.value_size,
+                                self.incompressible_fraction)
+            )
+
+    def run(self, system, warmup_ops: int = 0) -> WorkloadReport:
+        """Drive the system to completion and report.
+
+        ``warmup_ops``: leading operations excluded from metrics (used
+        to build GC pressure before measuring).
+        """
+        env = system.env
+        self.preload(system)
+        keys, is_get = self._draw_sequence()
+        cursor = {"i": 0}
+        snapshot_at = (
+            int(self.total_ops * self.snapshot_at_fraction)
+            if self.snapshot_at_fraction is not None
+            else None
+        )
+        measure_from = {"t": 0.0, "done": warmup_ops == 0}
+        ondemand_started = {"done": snapshot_at is None}
+        ftl0 = {"host": 0, "gc": 0, "erased": 0}
+
+        def client():
+            while True:
+                i = cursor["i"]
+                if i >= self.total_ops:
+                    return
+                cursor["i"] = i + 1
+                if not measure_from["done"] and i >= warmup_ops:
+                    measure_from["done"] = True
+                    measure_from["t"] = env.now
+                    system.server.reset_metrics()
+                    st = system.device.ftl.stats
+                    ftl0.update(host=st.host_pages_written,
+                                gc=st.gc_pages_copied,
+                                erased=st.segments_erased)
+                yield from system.server.execute(self._op(keys[i], is_get[i]))
+                if (
+                    snapshot_at is not None
+                    and i >= snapshot_at
+                    and not ondemand_started["done"]
+                ):
+                    # keep asking: a WAL-snapshot may be in flight (only
+                    # one snapshot runs at a time, §2.1)
+                    if system.server.start_snapshot(SnapshotKind.ON_DEMAND):
+                        ondemand_started["done"] = True
+
+        procs = [env.process(client(), name=f"client-{c}")
+                 for c in range(self.clients)]
+        for p in procs:
+            env.run(until=p)
+
+        def settle():
+            while system.server.snapshot_in_progress:
+                yield env.timeout(1e-3)
+
+        env.run(until=env.process(settle(), name="settle"))
+        return self._report(system, measure_from["t"], ftl0)
+
+    def _report(self, system, t0: float, ftl0: dict) -> WorkloadReport:
+        env = system.env
+        m = system.metrics
+        rep = WorkloadReport()
+        rep.ops = len(m.ops)
+        rep.duration = env.now - t0
+        phases = m.phase_rps(t_end=env.now)
+        rep.rps = phases["average"]
+        rep.rps_wal_only = phases["wal_only"]
+        rep.rps_wal_snapshot = phases["wal_snapshot"]
+        rep.set_p999 = m.set_latency.p(99.9)
+        rep.get_p999 = m.get_latency.p(99.9)
+        rep.set_mean = m.set_latency.mean()
+        rep.steady_memory = system.server.store.used_bytes
+        rep.peak_memory = m.memory.peak
+        rep.snapshot_times = [s.duration for s in m.snapshots]
+        rep.snapshot_count = len(m.snapshots)
+        st = system.device.ftl.stats
+        host = st.host_pages_written - ftl0["host"]
+        gc = st.gc_pages_copied - ftl0["gc"]
+        rep.waf = (host + gc) / host if host > 0 else 1.0
+        rep.gc_segments_erased = st.segments_erased - ftl0["erased"]
+        if len(m.ops) > 1:
+            ts = m.ops.timestamps
+            span = ts[-1] - ts[0]
+            bin_w = max(span / 60.0, 1e-6)
+            rep.timeline = m.ops.rate(bin_w)
+        return rep
+
+
+class RedisBenchWorkload(ClosedLoopWorkload):
+    """redis-benchmark shape: SET-only, uniform keys, large values."""
+
+    def __init__(self, clients: int = 50, total_ops: int = 20_000,
+                 key_count: int = 4_000, value_size: int = 4096,
+                 seed: int = 7, **kw):
+        super().__init__(
+            clients=clients, total_ops=total_ops, key_count=key_count,
+            value_size=value_size, get_ratio=0.0, zipfian=False, seed=seed,
+            **kw,
+        )
+
+
+class YcsbAWorkload(ClosedLoopWorkload):
+    """YCSB-A shape: 50/50 GET-SET, zipfian keys, preloaded records."""
+
+    def __init__(self, clients: int = 8, total_ops: int = 20_000,
+                 key_count: int = 2_000, value_size: int = 2048,
+                 seed: int = 7, **kw):
+        kw.setdefault("preload_records", key_count)
+        super().__init__(
+            clients=clients, total_ops=total_ops, key_count=key_count,
+            value_size=value_size, get_ratio=0.5, zipfian=True, seed=seed,
+            **kw,
+        )

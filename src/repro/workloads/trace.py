@@ -1,0 +1,107 @@
+"""Operation traces: record, save, replay.
+
+A trace pins down the *exact* request sequence of a run, so a
+performance regression can be replayed bit-for-bit against a modified
+system, and externally captured workloads (e.g. a production Redis
+MONITOR log converted offline) can drive the simulator.
+
+Format (one op per line, binary-safe via hex):
+
+    SET <key-hex> <value-hex>
+    GET <key-hex>
+    DEL <key-hex>
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.imdb import ClientOp
+
+__all__ = ["save_trace", "load_trace", "TraceWorkload"]
+
+
+def save_trace(ops: Iterable[ClientOp], path: str | Path) -> int:
+    """Write ops to ``path``; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for op in ops:
+            if op.op == "SET":
+                fh.write(f"SET {op.key.hex()} {op.value.hex()}\n")
+            elif op.op == "GET":
+                fh.write(f"GET {op.key.hex()}\n")
+            else:
+                fh.write(f"DEL {op.key.hex()}\n")
+            n += 1
+    return n
+
+
+def load_trace(path: str | Path) -> list[ClientOp]:
+    """Parse a trace file back into ops (strict; raises on bad lines)."""
+    ops: list[ClientOp] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "SET" and len(parts) == 3:
+                    ops.append(ClientOp("SET", bytes.fromhex(parts[1]),
+                                        bytes.fromhex(parts[2])))
+                elif parts[0] == "GET" and len(parts) == 2:
+                    ops.append(ClientOp("GET", bytes.fromhex(parts[1])))
+                elif parts[0] == "DEL" and len(parts) == 2:
+                    ops.append(ClientOp("DEL", bytes.fromhex(parts[1])))
+                else:
+                    raise ValueError("bad structure")
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line {line!r}"
+                ) from exc
+    return ops
+
+
+class TraceWorkload:
+    """Drive a system from a recorded op list (closed loop)."""
+
+    def __init__(self, ops: list[ClientOp], clients: int = 8):
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        if not ops:
+            raise ValueError("empty trace")
+        self.ops = ops
+        self.clients = clients
+
+    @classmethod
+    def from_file(cls, path: str | Path, clients: int = 8) -> "TraceWorkload":
+        return cls(load_trace(path), clients=clients)
+
+    def run(self, system) -> dict[str, float]:
+        """Replay; returns a small summary dict."""
+        env = system.env
+        cursor = {"i": 0}
+
+        def client():
+            while True:
+                i = cursor["i"]
+                if i >= len(self.ops):
+                    return
+                cursor["i"] = i + 1
+                yield from system.server.execute(self.ops[i])
+
+        procs = [env.process(client(), name=f"trace-client-{c}")
+                 for c in range(self.clients)]
+        t0 = env.now
+        for p in procs:
+            env.run(until=p)
+        dur = env.now - t0
+        m = system.metrics
+        return {
+            "ops": float(len(self.ops)),
+            "duration": dur,
+            "rps": len(self.ops) / dur if dur > 0 else 0.0,
+            "set_p999": m.set_latency.p(99.9),
+            "get_p999": m.get_latency.p(99.9),
+        }

@@ -1,0 +1,91 @@
+"""Parameter sweep utility tests."""
+
+import pytest
+
+from repro.bench.sweep import SweepResult, sweep, write_csv
+
+
+def fake_runner(params):
+    if params.get("explode"):
+        raise RuntimeError("boom")
+    return {"score": params["a"] * 10 + params.get("b", 0)}
+
+
+def test_grid_cartesian_product():
+    res = sweep({"a": [1, 2], "b": [0, 5]}, fake_runner)
+    assert len(res.rows) == 4
+    assert res.column("score") == [10, 15, 20, 25]
+
+
+def test_best_row():
+    res = sweep({"a": [1, 3, 2]}, fake_runner)
+    assert res.best("score")["a"] == 3
+    assert res.best("score", maximize=False)["a"] == 1
+
+
+def test_error_skip_records_failure():
+    res = sweep({"a": [1], "explode": [False, True]}, fake_runner,
+                on_error="skip")
+    assert len(res.rows) == 2
+    assert "error" in res.rows[1]
+    assert "score" not in res.rows[1]
+
+
+def test_error_raise_propagates():
+    with pytest.raises(RuntimeError):
+        sweep({"a": [1], "explode": [True]}, fake_runner)
+
+
+def test_invalid_on_error():
+    with pytest.raises(ValueError):
+        sweep({"a": [1]}, fake_runner, on_error="ignore")
+
+
+def test_format_and_empty():
+    res = sweep({"a": [1]}, fake_runner)
+    assert "score" in res.format()
+    empty = SweepResult(param_names=[])
+    assert empty.format() == "(empty sweep)"
+    with pytest.raises(ValueError):
+        empty.best("score")
+
+
+def test_write_csv(tmp_path):
+    res = sweep({"a": [1, 2], "explode": [False]}, fake_runner,
+                on_error="skip")
+    p = tmp_path / "out.csv"
+    write_csv(res, p)
+    text = p.read_text()
+    assert text.splitlines()[0] == "a,explode,score"
+    assert "1,False,10" in text
+    with pytest.raises(ValueError):
+        write_csv(SweepResult(param_names=[]), p)
+
+
+def test_sweep_with_real_system():
+    """End-to-end: sweep value sizes on a tiny SlimIO system."""
+    from repro import SystemConfig, build_slimio
+    from repro.flash import FlashGeometry, FtlConfig, NandTiming
+    from repro.workloads import ClosedLoopWorkload
+
+    cfg = SystemConfig(
+        geometry=FlashGeometry(channels=1, dies_per_channel=2,
+                               blocks_per_die=48, pages_per_block=16),
+        nand=NandTiming(page_read=2e-6, page_program=5e-6,
+                        block_erase=20e-6, channel_transfer=0.0),
+        ftl=FtlConfig(op_ratio=0.2, gc_trigger_segments=3,
+                      gc_stop_segments=4, gc_reserve_segments=2),
+        wal_flush_interval=0.01,
+    )
+
+    def runner(params):
+        system = build_slimio(config=cfg)
+        w = ClosedLoopWorkload(clients=4, total_ops=200, key_count=50,
+                               value_size=params["value_size"])
+        rep = w.run(system)
+        system.stop()
+        return {"rps": rep.rps, "p999": rep.set_p999}
+
+    res = sweep({"value_size": [256, 2048]}, runner)
+    assert len(res.rows) == 2
+    assert all(r["rps"] > 0 for r in res.rows)

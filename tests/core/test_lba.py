@@ -1,0 +1,121 @@
+"""LBA layout, slot state machine, circular WAL region."""
+
+import pytest
+
+from repro.core import LbaLayout, LbaSpaceManager, SlotRole
+from repro.core.lba import SnapshotSlots, WalRegion
+from repro.persist import SnapshotKind
+
+
+def test_layout_partition_covers_device():
+    lay = LbaLayout.partition(10_000)
+    assert lay.metadata_base == 0
+    assert lay.snapshot_base == lay.metadata_lbas
+    assert lay.wal_base == lay.metadata_lbas + 3 * lay.slot_lbas
+    assert lay.wal_lbas == 10_000 - lay.wal_base
+    assert lay.wal_lbas > 0
+
+
+def test_layout_slot_bases_disjoint():
+    lay = LbaLayout.partition(10_000)
+    bases = [lay.slot_base(i) for i in range(3)]
+    assert bases == sorted(bases)
+    assert bases[1] - bases[0] == lay.slot_lbas
+    with pytest.raises(ValueError):
+        lay.slot_base(3)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        LbaLayout(total_lbas=4)
+    with pytest.raises(ValueError):
+        LbaLayout.partition(1000, snapshot_fraction=1.5)
+
+
+def test_slots_initial_state():
+    s = SnapshotSlots(LbaLayout.partition(10_000))
+    assert s.roles.count(SlotRole.RESERVE) == 1
+    assert s.reserve_slot == 0
+    s.check_invariants()
+
+
+def test_slot_promotion_cycle():
+    s = SnapshotSlots(LbaLayout.partition(10_000))
+    # first WAL-snapshot goes to slot 0 (the reserve)
+    old = s.promote(SnapshotKind.WAL_TRIGGERED, 1000)
+    assert old is None
+    assert s.slot_of(SlotRole.WAL_SNAPSHOT) == 0
+    assert s.lengths[0] == 1000
+    s.check_invariants()
+    # on-demand uses the new reserve
+    r1 = s.reserve_slot
+    old = s.promote(SnapshotKind.ON_DEMAND, 2000)
+    assert old is None
+    assert s.slot_of(SlotRole.ONDEMAND_SNAPSHOT) == r1
+    s.check_invariants()
+    # second WAL-snapshot: previous WAL-snapshot slot becomes reserve
+    r2 = s.reserve_slot
+    old = s.promote(SnapshotKind.WAL_TRIGGERED, 3000)
+    assert old == 0
+    assert s.slot_of(SlotRole.WAL_SNAPSHOT) == r2
+    assert s.roles[0] == SlotRole.RESERVE
+    assert s.lengths[0] == 0
+    s.check_invariants()
+
+
+def test_slot_promotion_many_cycles_invariants():
+    s = SnapshotSlots(LbaLayout.partition(10_000))
+    kinds = [SnapshotKind.WAL_TRIGGERED, SnapshotKind.ON_DEMAND] * 10
+    for i, kind in enumerate(kinds):
+        s.promote(kind, 100 * (i + 1))
+        s.check_invariants()
+    assert s.slot_of(SlotRole.WAL_SNAPSHOT) is not None
+    assert s.slot_of(SlotRole.ONDEMAND_SNAPSHOT) is not None
+
+
+def test_wal_region_sequential_alloc():
+    w = WalRegion(LbaLayout.partition(10_000))
+    v0 = w.alloc(10)
+    v1 = w.alloc(5)
+    assert (v0, v1) == (0, 10)
+    assert w.head == 15
+
+
+def test_wal_region_wraps_physically():
+    lay = LbaLayout.partition(1000)
+    w = WalRegion(lay)
+    n = w.wal_pages
+    w.alloc(n - 2)
+    w.start_new_generation()
+    w.retire_previous()
+    vpn = w.alloc(4)  # crosses the region end
+    runs = w.contiguous_run(vpn, 4)
+    assert len(runs) == 2
+    assert runs[0] == (lay.wal_base + n - 2, 2)
+    assert runs[1] == (lay.wal_base, 2)
+
+
+def test_wal_region_full_raises():
+    w = WalRegion(LbaLayout.partition(1000))
+    with pytest.raises(OSError):
+        w.alloc(w.wal_pages + 1)
+
+
+def test_wal_region_rotation_protects_previous_gen():
+    w = WalRegion(LbaLayout.partition(1000))
+    n = w.wal_pages
+    w.alloc(n // 2)
+    retired = w.start_new_generation()
+    assert retired == (0, n // 2)
+    # previous gen still live: can't consume the whole region again
+    with pytest.raises(OSError):
+        w.alloc(n - n // 2 + 1)
+    w.retire_previous()
+    w.alloc(n - n // 2)  # now it fits
+
+
+def test_manager_slot_extent():
+    m = LbaSpaceManager(10_000)
+    base, n = m.slot_extent(1)
+    assert base == m.layout.slot_base(1)
+    assert n == m.layout.slot_lbas

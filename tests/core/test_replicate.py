@@ -1,0 +1,126 @@
+"""Replica bootstrap tests."""
+
+import pytest
+
+from repro import SystemConfig, build_baseline, build_slimio
+from repro.core.replicate import ReplicationLink, full_sync
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.imdb import ClientOp
+from repro.sim import Environment
+
+CFG = SystemConfig(
+    geometry=FlashGeometry(channels=1, dies_per_channel=2, blocks_per_die=64,
+                           pages_per_block=16),
+    nand=NandTiming(page_read=2e-6, page_program=5e-6, block_erase=20e-6,
+                    channel_transfer=0.0),
+    ftl=FtlConfig(op_ratio=0.2, gc_trigger_segments=3, gc_stop_segments=4,
+                  gc_reserve_segments=2),
+    wal_flush_interval=0.01,
+    fs_extent_pages=16,
+)
+
+
+def pair(master_builder=build_slimio, replica_builder=build_slimio):
+    env = Environment()
+    master = master_builder(env=env, config=CFG)
+    replica = replica_builder(env=env, config=CFG)
+    return env, master, replica
+
+
+def fill(env, system, n, tag=b""):
+    from repro.workloads import make_value
+
+    def filler():
+        for i in range(n):
+            key = tag + b"k%d" % i
+            yield from system.server.execute(
+                ClientOp("SET", key, make_value(key, 2048)))
+
+    env.run(until=env.process(filler()))
+
+
+def test_full_sync_replicates_dataset():
+    env, master, replica = pair()
+    fill(env, master, 40)
+    report = env.run(until=env.process(full_sync(master, replica)))
+    assert report.snapshot_entries == 40
+    assert report.snapshot_bytes > 0
+    assert report.duration > report.transfer_time > 0
+    assert replica.server.store.as_dict() == master.server.store.as_dict()
+    master.stop(); replica.stop()
+
+
+def test_full_sync_forwards_concurrent_writes():
+    env, master, replica = pair()
+    fill(env, master, 30)
+
+    done = {}
+    slowish = ReplicationLink(bandwidth=16 * 1024 * 1024)
+
+    def sync():
+        rep = yield from full_sync(master, replica, slowish)
+        done["report"] = rep
+
+    def concurrent_writer():
+        for i in range(10):
+            yield from master.server.execute(
+                ClientOp("SET", b"live%d" % i, b"fresh" * 20))
+            yield env.timeout(2e-4)
+
+    p = env.process(sync())
+    env.process(concurrent_writer())
+    env.run(until=p)
+    env.run(until=env.timeout(1e-3))
+    rep = done["report"]
+    assert rep.records_forwarded >= 1
+    for i in range(10):
+        assert replica.server.store.get(b"live%d" % i) == b"fresh" * 20
+    master.stop(); replica.stop()
+
+
+def test_cross_design_sync_baseline_to_slimio():
+    env, master, replica = pair(build_baseline, build_slimio)
+    fill(env, master, 25)
+    env.run(until=env.process(full_sync(master, replica)))
+    assert replica.server.store.as_dict() == master.server.store.as_dict()
+    master.stop(); replica.stop()
+
+
+def test_slow_link_dominates_duration():
+    env, master, replica = pair()
+    fill(env, master, 40)
+    slow = ReplicationLink(bandwidth=2 * 1024 * 1024)  # 2 MB/s
+    report = env.run(until=env.process(full_sync(master, replica, slow)))
+    assert report.transfer_time > 0.5 * report.duration
+    master.stop(); replica.stop()
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        ReplicationLink(bandwidth=0)
+    with pytest.raises(ValueError):
+        ReplicationLink(rtt=-1)
+
+
+def test_environments_must_match():
+    _, master, _ = pair()
+    other = build_slimio(config=CFG)
+    gen = full_sync(master, other)
+    with pytest.raises(ValueError):
+        next(gen)
+    master.stop(); other.stop()
+
+
+def test_sync_fails_cleanly_when_snapshot_busy():
+    env, master, replica = pair()
+    fill(env, master, 60, tag=b"x")
+    from repro.persist import SnapshotKind
+
+    master.server.start_snapshot(SnapshotKind.ON_DEMAND)  # occupy
+
+    def attempt():
+        with pytest.raises(RuntimeError, match="in progress"):
+            yield from full_sync(master, replica)
+
+    env.run(until=env.process(attempt()))
+    master.stop(); replica.stop()

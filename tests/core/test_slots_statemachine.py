@@ -1,0 +1,57 @@
+"""Hypothesis state machine over the snapshot-slot lifecycle."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+import hypothesis.strategies as st
+
+from repro.core import LbaLayout, SlotRole
+from repro.core.lba import SnapshotSlots
+from repro.persist import SnapshotKind
+
+
+class SlotMachine(RuleBasedStateMachine):
+    """Random promote sequences must preserve all slot invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.slots = SnapshotSlots(LbaLayout.partition(10_000))
+        self.published: dict[SnapshotKind, int] = {}
+
+    @rule(kind=st.sampled_from([SnapshotKind.WAL_TRIGGERED,
+                                SnapshotKind.ON_DEMAND]),
+          nbytes=st.integers(min_value=1, max_value=10**9))
+    def promote(self, kind, nbytes):
+        before_reserve = self.slots.reserve_slot
+        old = self.slots.promote(kind, nbytes)
+        role = SlotRole.for_kind(kind)
+        # the freshly promoted slot is the previous reserve
+        assert self.slots.slot_of(role) == before_reserve
+        assert self.slots.lengths[before_reserve] == nbytes
+        # the returned slot (if any) was this kind's previous home
+        if kind in self.published:
+            assert old == self.published[kind]
+        else:
+            assert old is None
+        self.published[kind] = before_reserve
+
+    @invariant()
+    def exactly_one_reserve(self):
+        assert self.slots.roles.count(SlotRole.RESERVE) == 1
+
+    @invariant()
+    def no_duplicate_roles(self):
+        for role in (SlotRole.WAL_SNAPSHOT, SlotRole.ONDEMAND_SNAPSHOT):
+            assert self.slots.roles.count(role) <= 1
+
+    @invariant()
+    def reserve_has_zero_length(self):
+        assert self.slots.lengths[self.slots.reserve_slot] == 0
+
+    @invariant()
+    def internal_checker_agrees(self):
+        self.slots.check_invariants()
+
+
+TestSlotMachine = SlotMachine.TestCase
+TestSlotMachine.settings = settings(max_examples=50, deadline=None,
+                                    stateful_step_count=30)

@@ -1,0 +1,80 @@
+"""Geometry and timing parameter tests."""
+
+import pytest
+
+from repro.flash import FlashGeometry, NandTiming
+
+
+def test_default_geometry_matches_paper_structure():
+    g = FlashGeometry()
+    assert g.channels == 8
+    assert g.dies_per_channel == 8
+    assert g.total_dies == 64
+    assert g.page_size == 4096
+
+
+def test_default_timing_matches_femu_defaults():
+    t = NandTiming()
+    assert t.page_read == pytest.approx(40e-6)
+    assert t.page_program == pytest.approx(200e-6)
+    assert t.block_erase == pytest.approx(2e-3)
+
+
+def test_derived_sizes_consistent():
+    g = FlashGeometry(channels=2, dies_per_channel=2, blocks_per_die=8,
+                      pages_per_block=16, page_size=4096)
+    assert g.total_dies == 4
+    assert g.segments == 8
+    assert g.pages_per_segment == 64
+    assert g.segment_bytes == 64 * 4096
+    assert g.total_pages == 8 * 64
+    assert g.total_bytes == g.total_pages * 4096
+
+
+def test_page_striping_round_robin_across_dies():
+    g = FlashGeometry(channels=2, dies_per_channel=2, blocks_per_die=4,
+                      pages_per_block=8)
+    dies = [g.die_of_page(p) for p in range(8)]
+    assert dies == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_channel_of_die():
+    g = FlashGeometry(channels=2, dies_per_channel=3, blocks_per_die=4,
+                      pages_per_block=8)
+    assert g.channel_of_die(0) == 0
+    assert g.channel_of_die(2) == 0
+    assert g.channel_of_die(3) == 1
+
+
+def test_segment_addressing_roundtrip():
+    g = FlashGeometry(channels=2, dies_per_channel=2, blocks_per_die=8,
+                      pages_per_block=16)
+    for seg in range(g.segments):
+        base = g.first_page_of_segment(seg)
+        assert g.segment_of_page(base) == seg
+        assert g.page_offset_in_segment(base) == 0
+        last = base + g.pages_per_segment - 1
+        assert g.segment_of_page(last) == seg
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        FlashGeometry(channels=0)
+    with pytest.raises(ValueError):
+        FlashGeometry(page_size=0)
+
+
+def test_negative_timing_rejected():
+    with pytest.raises(ValueError):
+        NandTiming(page_read=-1)
+
+
+def test_scaled_geometry_size_in_range():
+    g = FlashGeometry.scaled(mb=64)
+    assert g.total_bytes >= 48 * 1024 * 1024
+    assert g.total_bytes <= 96 * 1024 * 1024
+
+
+def test_scaled_geometry_minimum_segments():
+    g = FlashGeometry.scaled(mb=1)
+    assert g.segments >= 4

@@ -1,0 +1,76 @@
+"""Server INFO surface tests."""
+
+import math
+
+from repro import SystemConfig, build_slimio
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.imdb import ClientOp
+from repro.persist import SnapshotKind
+
+CFG = SystemConfig(
+    geometry=FlashGeometry(channels=1, dies_per_channel=2, blocks_per_die=48,
+                           pages_per_block=16),
+    nand=NandTiming(page_read=2e-6, page_program=5e-6, block_erase=20e-6,
+                    channel_transfer=0.0),
+    ftl=FtlConfig(op_ratio=0.2, gc_trigger_segments=3, gc_stop_segments=4,
+                  gc_reserve_segments=2),
+    wal_flush_interval=0.01,
+)
+
+
+def test_info_reflects_activity():
+    system = build_slimio(config=CFG)
+    env = system.env
+
+    def proc():
+        for i in range(25):
+            yield from system.server.execute(
+                ClientOp("SET", b"k%d" % i, b"v" * 600))
+        yield from system.server.execute(ClientOp("GET", b"k0"))
+
+    env.run(until=env.process(proc()))
+    info = system.server.info()
+    assert info["keys"] == 25
+    assert info["used_memory"] > 25 * 600
+    assert info["total_commands_processed"] == 26
+    assert info["instantaneous_ops"] > 0
+    assert not math.isnan(info["set_p999"])
+    assert info["snapshot_in_progress"] == 0.0
+    assert info["wal_bytes"] > 0
+    system.stop()
+
+
+def test_info_during_snapshot():
+    system = build_slimio(config=CFG)
+    env = system.env
+
+    def proc():
+        for i in range(20):
+            yield from system.server.execute(
+                ClientOp("SET", b"k%d" % i, b"v" * 3000))
+        p = system.server.start_snapshot(SnapshotKind.ON_DEMAND)
+        assert system.server.info()["snapshot_in_progress"] == 1.0
+        # overwrite during the snapshot: CoW counters move
+        for i in range(20):
+            yield from system.server.execute(
+                ClientOp("SET", b"k%d" % i, b"w" * 3000))
+        yield p
+
+    env.run(until=env.process(proc()))
+    info = system.server.info()
+    assert info["snapshots_completed"] == 1
+    assert info["cow_copied_pages"] > 0
+    assert info["cow_faults"] > 0
+    assert info["snapshot_in_progress"] == 0.0
+    system.stop()
+
+
+def test_info_without_wal():
+    from repro.imdb import KVStore, Server
+    from repro.sim import Environment
+
+    env = Environment()
+    server = Server(env, KVStore(), None, None)
+    info = server.info()
+    assert "wal_bytes" not in info
+    assert info["keys"] == 0

@@ -1,0 +1,99 @@
+"""KVStore tests: semantics, memory accounting, page map."""
+
+import pytest
+
+from repro.imdb import KVStore
+
+
+def test_set_get_delete():
+    s = KVStore()
+    s.set(b"k", b"v")
+    assert s.get(b"k") == b"v"
+    assert b"k" in s
+    assert len(s) == 1
+    assert s.delete(b"k")
+    assert s.get(b"k") is None
+    assert not s.delete(b"k")
+
+
+def test_overwrite_updates_value():
+    s = KVStore()
+    s.set(b"k", b"old")
+    s.set(b"k", b"new")
+    assert s.get(b"k") == b"new"
+    assert len(s) == 1
+
+
+def test_type_checking():
+    s = KVStore()
+    with pytest.raises(TypeError):
+        s.set("str", b"v")
+    with pytest.raises(TypeError):
+        s.set(b"k", "str")
+
+
+def test_memory_accounting():
+    s = KVStore(entry_overhead=64)
+    s.set(b"key", b"x" * 100)
+    assert s.used_bytes == 3 + 100 + 64
+    s.set(b"key", b"x" * 10)
+    assert s.used_bytes == 3 + 10 + 64
+    s.delete(b"key")
+    assert s.used_bytes == 0
+
+
+def test_page_assignment_contiguous():
+    s = KVStore(page_size=4096)
+    first, n = s.set(b"a", b"v" * 5000)  # ~5KB + overhead -> 2 pages
+    assert (first, n) == (0, 2)
+    first2, n2 = s.set(b"b", b"v" * 100)
+    assert first2 == 2  # bump allocated after the first entry
+
+
+def test_overwrite_in_place_when_fits():
+    s = KVStore(page_size=4096)
+    p1 = s.set(b"k", b"v" * 3000)
+    p2 = s.set(b"k", b"v" * 1000)  # fits the old footprint
+    assert p1 == p2
+
+
+def test_overwrite_relocates_when_grows():
+    s = KVStore(page_size=4096)
+    p1 = s.set(b"k", b"v" * 100)
+    p2 = s.set(b"k", b"v" * 9000)
+    assert p2[0] > p1[0]
+    assert p2[1] > p1[1]
+
+
+def test_heap_pages_monotonic():
+    s = KVStore(page_size=4096)
+    s.set(b"a", b"v" * 100)
+    h1 = s.heap_pages
+    s.set(b"b", b"v" * 100)
+    assert s.heap_pages > h1
+
+
+def test_snapshot_items_frozen():
+    s = KVStore()
+    s.set(b"a", b"1")
+    frozen = s.snapshot_items()
+    s.set(b"a", b"2")
+    assert dict(frozen) == {b"a": b"1"}
+
+
+def test_load_replaces_contents():
+    s = KVStore()
+    s.set(b"old", b"x")
+    s.load({b"new": b"y"})
+    assert s.as_dict() == {b"new": b"y"}
+    assert s.get(b"old") is None
+    assert s.used_bytes > 0
+
+
+def test_pages_of_missing_key():
+    assert KVStore().pages_of(b"ghost") is None
+
+
+def test_invalid_page_size():
+    with pytest.raises(ValueError):
+        KVStore(page_size=0)

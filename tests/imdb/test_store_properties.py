@@ -1,0 +1,70 @@
+"""Model-based KVStore test: behaves exactly like a dict + invariants."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.imdb import KVStore
+
+keys = st.binary(min_size=1, max_size=16)
+values = st.binary(min_size=0, max_size=6000)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = KVStore(page_size=4096, entry_overhead=64)
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=keys, value=values)
+    def set_(self, key, value):
+        first, n = self.store.set(key, value)
+        self.model[key] = value
+        assert n >= 1
+        assert first + n <= self.store.heap_pages
+
+    @rule(key=keys)
+    def get_(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=keys)
+    def delete_(self, key):
+        assert self.store.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @invariant()
+    def same_contents(self):
+        assert self.store.as_dict() == self.model
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def memory_accounting_exact(self):
+        expected = sum(len(k) + len(v) + 64 for k, v in self.model.items())
+        assert self.store.used_bytes == expected
+
+    @invariant()
+    def page_ranges_disjoint(self):
+        spans = sorted(
+            self.store.pages_of(k) for k in self.model
+        )
+        for (a_first, a_n), (b_first, _) in zip(spans, spans[1:]):
+            assert a_first + a_n <= b_first
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(max_examples=40, deadline=None,
+                                     stateful_step_count=40)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_load_equals_incremental_set(pairs):
+    """Bulk load and incremental construction agree."""
+    inc = KVStore()
+    final = {}
+    for k, v in pairs:
+        inc.set(k, v)
+        final[k] = v
+    bulk = KVStore()
+    bulk.load(final)
+    assert bulk.as_dict() == inc.as_dict()
+    assert bulk.used_bytes == inc.used_bytes

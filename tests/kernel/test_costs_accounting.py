@@ -1,0 +1,74 @@
+"""KernelCosts + CpuAccount tests."""
+
+import pytest
+
+from repro.kernel import CpuAccount, KernelCosts
+from repro.sim import Environment
+
+
+def test_copy_time_scales_linearly():
+    c = KernelCosts()
+    assert c.copy_time(0) == 0.0
+    assert c.copy_time(2 * 1024**3) == pytest.approx(2 * 1024**3 / c.copy_bandwidth)
+
+
+def test_costs_validation():
+    with pytest.raises(ValueError):
+        KernelCosts(copy_bandwidth=0)
+    with pytest.raises(ValueError):
+        KernelCosts(syscall_overhead=-1)
+
+
+def test_account_charge_consumes_sim_time():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+
+    def proc():
+        yield from acct.charge("fs", 5e-6)
+        yield from acct.charge("fs", 3e-6)
+        yield from acct.charge("copy", 1e-6)
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert env.now == pytest.approx(9e-6)
+    assert acct.time_in("fs") == pytest.approx(8e-6)
+    assert acct.time_in("copy") == pytest.approx(1e-6)
+    assert acct.total_charged() == pytest.approx(9e-6)
+
+
+def test_account_note_does_not_consume_time():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+    acct.note("ssd_wait", 1.0)
+    assert env.now == 0.0
+    assert acct.time_in("ssd_wait") == 1.0
+
+
+def test_account_share_of():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+    acct.note("fs", 0.12)
+    assert acct.share_of("fs", 1.0) == pytest.approx(0.12)
+    assert acct.share_of("fs", 0.0) == 0.0
+
+
+def test_account_rejects_negative():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+    with pytest.raises(ValueError):
+        acct.note("x", -1)
+
+    def proc():
+        yield from acct.charge("x", -1)
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_account_breakdown_snapshot():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+    acct.note("a", 1)
+    acct.note("b", 2)
+    assert acct.breakdown() == {"a": 1, "b": 2}

@@ -1,0 +1,57 @@
+"""Identify structure tests + engine capability validation."""
+
+import pytest
+
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.nvme import NvmeDevice
+from repro.nvme.identify import identify
+from repro.sim import Environment
+
+FAST = NandTiming(page_read=1e-6, page_program=2e-6, block_erase=10e-6,
+                  channel_transfer=0.0)
+CFG = FtlConfig(op_ratio=0.2, gc_trigger_segments=3, gc_stop_segments=4,
+                gc_reserve_segments=2)
+
+
+def make(fdp):
+    env = Environment()
+    g = FlashGeometry(channels=2, dies_per_channel=2, blocks_per_die=24,
+                      pages_per_block=16)
+    return NvmeDevice(env, g, FAST, CFG, fdp=fdp)
+
+
+def test_identify_conventional():
+    dev = make(fdp=False)
+    ident = identify(dev)
+    assert not ident.fdp.enabled
+    assert ident.fdp.num_handles == 0
+    assert "FDP" not in ident.controller.model
+    assert ident.namespace.num_lbas == dev.num_lbas
+    assert ident.namespace.capacity_bytes == dev.capacity_bytes
+
+
+def test_identify_fdp():
+    dev = make(fdp=True)
+    ident = identify(dev)
+    assert ident.fdp.enabled
+    assert ident.fdp.num_handles == 8
+    assert ident.fdp.ru_bytes == dev.geometry.segment_bytes
+    assert ident.controller.model.endswith("-FDP")
+
+
+def test_identity_reflects_geometry():
+    dev = make(fdp=True)
+    ident = identify(dev)
+    assert ident.namespace.lba_size == 4096
+    assert ident.fdp.ru_bytes == (
+        dev.geometry.pages_per_segment * dev.geometry.page_size)
+
+
+def test_placement_policy_fits_device_handles():
+    """The engine's PID assignment must fit the advertised handles."""
+    from repro.core import PlacementPolicy
+
+    dev = make(fdp=True)
+    ident = identify(dev)
+    policy = PlacementPolicy()
+    assert policy.max_pid < ident.fdp.num_handles

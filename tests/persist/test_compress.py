@@ -1,0 +1,67 @@
+"""Compression model and codec tests."""
+
+import pytest
+
+from repro.persist import CompressionModel, Compressor
+
+
+def test_roundtrip():
+    c = Compressor()
+    raw = b"abcabcabc" * 100
+    assert c.decompress(c.compress(raw)) == raw
+
+
+def test_disabled_passthrough():
+    c = Compressor(enabled=False)
+    raw = b"data"
+    assert c.compress(raw) == raw
+    assert c.decompress(raw) == raw
+    assert c.ratio(raw) == 1.0
+
+
+def test_repetitive_data_compresses():
+    c = Compressor()
+    assert c.ratio(b"\x00" * 4096) < 0.1
+
+
+def test_random_data_barely_compresses():
+    import random
+
+    rng = random.Random(7)
+    raw = bytes(rng.getrandbits(8) for _ in range(4096))
+    assert c_ratio_close_to_one(Compressor().ratio(raw))
+
+
+def c_ratio_close_to_one(r):
+    return 0.9 < r < 1.1
+
+
+def test_empty_ratio_is_one():
+    assert Compressor().ratio(b"") == 1.0
+
+
+def test_level_validation():
+    with pytest.raises(ValueError):
+        Compressor(level=10)
+
+
+def test_model_cost_scaling():
+    m = CompressionModel()
+    one_mb = m.compress_time(1024 * 1024, 1)
+    two_mb = m.compress_time(2 * 1024 * 1024, 1)
+    assert two_mb > one_mb
+    # per-object overhead: many small objects cost more than one big one
+    assert m.compress_time(1024 * 1024, 1000) > m.compress_time(1024 * 1024, 1)
+
+
+def test_model_decompress_faster_than_compress():
+    m = CompressionModel()
+    n = 10 * 1024 * 1024
+    assert m.decompress_time(n, 1) < m.compress_time(n, 1)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        CompressionModel(compress_bandwidth=0)
+    with pytest.raises(ValueError):
+        CompressionModel(per_object_overhead=-1)

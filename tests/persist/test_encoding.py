@@ -1,0 +1,165 @@
+"""Codec tests: AOF records and RDB streams."""
+
+import pytest
+
+from repro.persist import (
+    AofCodec,
+    AofRecord,
+    CorruptRecord,
+    OP_DEL,
+    OP_SET,
+    RdbReader,
+    RdbWriter,
+)
+from repro.persist.compress import Compressor
+
+
+def test_aof_record_roundtrip():
+    rec = AofRecord(op=OP_SET, key=b"key1", value=b"value1")
+    encoded = AofCodec.encode(rec)
+    decoded = list(AofCodec.decode_stream(encoded))
+    assert decoded == [rec]
+
+
+def test_aof_del_record():
+    rec = AofRecord(op=OP_DEL, key=b"gone")
+    assert list(AofCodec.decode_stream(AofCodec.encode(rec))) == [rec]
+
+
+def test_aof_del_with_value_rejected():
+    with pytest.raises(ValueError):
+        AofRecord(op=OP_DEL, key=b"k", value=b"v")
+
+
+def test_aof_bad_op_rejected():
+    with pytest.raises(ValueError):
+        AofRecord(op=7, key=b"k")
+
+
+def test_aof_stream_of_many_records():
+    recs = [AofRecord(op=OP_SET, key=f"k{i}".encode(), value=b"v" * i)
+            for i in range(50)]
+    stream = b"".join(AofCodec.encode(r) for r in recs)
+    assert list(AofCodec.decode_stream(stream)) == recs
+
+
+def test_aof_torn_tail_stops_cleanly():
+    recs = [AofRecord(op=OP_SET, key=b"a", value=b"1"),
+            AofRecord(op=OP_SET, key=b"b", value=b"2")]
+    stream = b"".join(AofCodec.encode(r) for r in recs)
+    torn = stream[:-3]  # crash mid-append of the second record
+    assert list(AofCodec.decode_stream(torn)) == recs[:1]
+
+
+def test_aof_corrupt_crc_stops_replay():
+    stream = bytearray(AofCodec.encode(AofRecord(op=OP_SET, key=b"a", value=b"1")))
+    stream[-1] ^= 0xFF
+    assert list(AofCodec.decode_stream(bytes(stream))) == []
+
+
+def test_aof_garbage_prefix_yields_nothing():
+    assert list(AofCodec.decode_stream(b"\x00" * 64)) == []
+
+
+def test_aof_encoded_size_matches():
+    rec = AofRecord(op=OP_SET, key=b"abc", value=b"defgh")
+    assert len(AofCodec.encode(rec)) == AofCodec.encoded_size(3, 5)
+
+
+def test_aof_empty_value_allowed():
+    rec = AofRecord(op=OP_SET, key=b"k", value=b"")
+    assert list(AofCodec.decode_stream(AofCodec.encode(rec))) == [rec]
+
+
+def rdb_roundtrip(entries, compressor=None):
+    comp = compressor or Compressor()
+    w = RdbWriter(comp)
+    stream = w.header()
+    for i in range(0, len(entries), 3):
+        stream += w.chunk(entries[i : i + 3])
+    stream += w.footer()
+    return RdbReader(comp).read_all(stream), stream
+
+
+def test_rdb_roundtrip_basic():
+    entries = [(f"key{i}".encode(), (f"value{i}" * 10).encode())
+               for i in range(10)]
+    decoded, _ = rdb_roundtrip(entries)
+    assert decoded == entries
+
+
+def test_rdb_empty_snapshot():
+    decoded, _ = rdb_roundtrip([])
+    assert decoded == []
+
+
+def test_rdb_uncompressed_mode():
+    comp = Compressor(enabled=False)
+    entries = [(b"k", b"v" * 100)]
+    decoded, stream = rdb_roundtrip(entries, comp)
+    assert decoded == entries
+    assert b"v" * 50 in stream  # payload is literally in the stream
+
+
+def test_rdb_compression_flag_mismatch_detected():
+    entries = [(b"k", b"v")]
+    _, stream = rdb_roundtrip(entries, Compressor(enabled=True))
+    with pytest.raises(CorruptRecord, match="compression flag"):
+        RdbReader(Compressor(enabled=False)).read_all(stream)
+
+
+def test_rdb_truncated_stream_rejected():
+    entries = [(b"k" * 10, b"v" * 1000)]
+    _, stream = rdb_roundtrip(entries)
+    with pytest.raises(CorruptRecord):
+        RdbReader().read_all(stream[: len(stream) // 2])
+
+
+def test_rdb_missing_footer_rejected():
+    comp = Compressor()
+    w = RdbWriter(comp)
+    stream = w.header() + w.chunk([(b"k", b"v")])
+    with pytest.raises(CorruptRecord, match="footer"):
+        RdbReader(comp).read_all(stream)
+
+
+def test_rdb_flipped_bit_in_chunk_rejected():
+    entries = [(b"key", b"val" * 100)]
+    _, stream = rdb_roundtrip(entries)
+    corrupted = bytearray(stream)
+    corrupted[len(stream) // 2] ^= 0x01
+    with pytest.raises(CorruptRecord):
+        RdbReader().read_all(bytes(corrupted))
+
+
+def test_rdb_bad_magic_rejected():
+    with pytest.raises(CorruptRecord, match="magic"):
+        RdbReader().read_all(b"NOT-AN-RDB" + bytes(64))
+
+
+def test_rdb_writer_state_machine():
+    w = RdbWriter()
+    with pytest.raises(RuntimeError):
+        w.chunk([(b"k", b"v")])  # header first
+    w.header()
+    with pytest.raises(RuntimeError):
+        w.header()
+    w.footer()
+    with pytest.raises(RuntimeError):
+        w.chunk([(b"k", b"v")])
+    with pytest.raises(RuntimeError):
+        w.footer()
+
+
+def test_rdb_entry_count_tracked():
+    w = RdbWriter()
+    w.header()
+    w.chunk([(b"a", b"1"), (b"b", b"2")])
+    w.chunk([(b"c", b"3")])
+    assert w.entries_written == 3
+
+
+def test_rdb_binary_safe_keys_and_values():
+    entries = [(bytes(range(256)), bytes(reversed(range(256))))]
+    decoded, _ = rdb_roundtrip(entries)
+    assert decoded == entries

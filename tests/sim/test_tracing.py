@@ -1,0 +1,54 @@
+"""Tracer tests."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.tracing import Tracer
+
+
+def test_emit_and_filter():
+    env = Environment()
+    tr = Tracer(env)
+    tr.emit("ftl", "gc-start")
+
+    def proc():
+        yield env.timeout(1.5)
+        tr.emit("wal", "flush", 4096)
+
+    env.run(until=env.process(proc()))
+    assert len(tr) == 2
+    assert tr.components() == {"ftl", "wal"}
+    assert [r.event for r in tr.records("wal")] == ["flush"]
+    assert tr.records(since=1.0)[0].component == "wal"
+
+
+def test_disabled_tracer_is_free():
+    env = Environment()
+    tr = Tracer(env, enabled=False)
+    tr.emit("x", "y")
+    assert len(tr) == 0
+
+
+def test_capacity_drops_and_counts():
+    env = Environment()
+    tr = Tracer(env, capacity=2)
+    for i in range(5):
+        tr.emit("c", f"e{i}")
+    assert len(tr) == 2
+    assert tr.dropped == 3
+
+
+def test_render_and_clear():
+    env = Environment()
+    tr = Tracer(env)
+    tr.emit("dev", "write", "lba=3")
+    out = tr.render()
+    assert "dev" in out and "lba=3" in out
+    assert tr.render(last=1).count("\n") == 0
+    tr.clear()
+    assert len(tr) == 0 and tr.dropped == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Tracer(Environment(), capacity=0)

@@ -1,0 +1,95 @@
+"""Key/value generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.persist.compress import Compressor
+from repro.workloads import UniformKeys, ZipfianKeys, make_key, make_value
+
+
+def test_make_key_fixed_width():
+    assert len(make_key(0)) == 8
+    assert len(make_key(123456, width=4)) == 4
+    assert make_key(1) != make_key(2)
+
+
+def test_make_value_deterministic():
+    assert make_value(b"k1", 500) == make_value(b"k1", 500)
+    assert make_value(b"k1", 500) != make_value(b"k2", 500)
+
+
+def test_make_value_size_exact():
+    for size in (1, 10, 100, 4096, 5000):
+        assert len(make_value(b"key", size)) == size
+
+
+def test_make_value_size_validation():
+    with pytest.raises(ValueError):
+        make_value(b"k", 0)
+
+
+def test_make_value_compressibility_tunable():
+    comp = Compressor()
+    soft = make_value(b"k", 4096, incompressible_fraction=0.1)
+    hard = make_value(b"k", 4096, incompressible_fraction=0.95)
+    assert comp.ratio(soft) < comp.ratio(hard)
+    # default lands in LZF-on-real-data territory
+    default = make_value(b"k", 4096)
+    assert 0.3 < comp.ratio(default) < 0.95
+
+
+def test_uniform_keys_in_range():
+    gen = UniformKeys(100, seed=3)
+    draws = gen.draw(10_000)
+    assert draws.min() >= 0
+    assert draws.max() < 100
+    # roughly uniform: every key appears
+    assert len(np.unique(draws)) == 100
+
+
+def test_uniform_deterministic_by_seed():
+    a = UniformKeys(50, seed=9).draw(100)
+    b = UniformKeys(50, seed=9).draw(100)
+    np.testing.assert_array_equal(a, b)
+    c = UniformKeys(50, seed=10).draw(100)
+    assert not np.array_equal(a, c)
+
+
+def test_zipfian_keys_in_range():
+    gen = ZipfianKeys(1000, seed=3)
+    draws = gen.draw(20_000)
+    assert draws.min() >= 0
+    assert draws.max() < 1000
+
+
+def test_zipfian_is_skewed():
+    gen = ZipfianKeys(1000, theta=0.99, seed=3)
+    draws = gen.draw(50_000)
+    _, counts = np.unique(draws, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    # the hottest key takes a disproportionate share
+    assert counts[0] > 10 * np.median(counts)
+    # top-10% of keys take the majority of accesses
+    top = counts[: len(counts) // 10].sum()
+    assert top > 0.5 * draws.size
+
+
+def test_zipfian_hot_keys_scattered():
+    """YCSB-style scramble: the hottest key is not simply index 0."""
+    gens = [ZipfianKeys(1000, seed=s) for s in (1, 2)]
+    hot = []
+    for g in gens:
+        draws = g.draw(20_000)
+        vals, counts = np.unique(draws, return_counts=True)
+        hot.append(vals[np.argmax(counts)])
+    # same scramble for same seed base logic; existence check:
+    assert any(h != 0 for h in hot)
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        ZipfianKeys(0)
+    with pytest.raises(ValueError):
+        ZipfianKeys(10, theta=1.5)
+    with pytest.raises(ValueError):
+        UniformKeys(0)

@@ -1,0 +1,81 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro import SystemConfig, build_slimio
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.imdb import ClientOp
+from repro.workloads.trace import TraceWorkload, load_trace, save_trace
+
+CFG = SystemConfig(
+    geometry=FlashGeometry(channels=1, dies_per_channel=2, blocks_per_die=48,
+                           pages_per_block=16),
+    nand=NandTiming(page_read=2e-6, page_program=5e-6, block_erase=20e-6,
+                    channel_transfer=0.0),
+    ftl=FtlConfig(op_ratio=0.2, gc_trigger_segments=3, gc_stop_segments=4,
+                  gc_reserve_segments=2),
+    wal_flush_interval=0.01,
+)
+
+OPS = [
+    ClientOp("SET", b"alpha", b"1"),
+    ClientOp("SET", b"\x00\xffbin", bytes(range(16))),
+    ClientOp("GET", b"alpha"),
+    ClientOp("DEL", b"alpha"),
+]
+
+
+def test_save_load_roundtrip(tmp_path):
+    p = tmp_path / "ops.trace"
+    assert save_trace(OPS, p) == 4
+    assert load_trace(p) == OPS
+
+
+def test_load_skips_comments_and_blanks(tmp_path):
+    p = tmp_path / "ops.trace"
+    p.write_text("# comment\n\nSET 6b 76\n")
+    ops = load_trace(p)
+    assert ops == [ClientOp("SET", b"k", b"v")]
+
+
+def test_load_rejects_malformed(tmp_path):
+    p = tmp_path / "bad.trace"
+    p.write_text("SET onlyonearg\n")
+    with pytest.raises(ValueError, match="malformed"):
+        load_trace(p)
+    p.write_text("FLUSH 6b\n")
+    with pytest.raises(ValueError):
+        load_trace(p)
+
+
+def test_replay_drives_system(tmp_path):
+    p = tmp_path / "ops.trace"
+    ops = [ClientOp("SET", b"k%d" % i, b"v" * 100) for i in range(50)]
+    save_trace(ops, p)
+    system = build_slimio(config=CFG)
+    summary = TraceWorkload.from_file(p, clients=4).run(system)
+    system.stop()
+    assert summary["ops"] == 50
+    assert summary["rps"] > 0
+    assert system.server.store.get(b"k49") == b"v" * 100
+
+
+def test_replay_determinism(tmp_path):
+    p = tmp_path / "ops.trace"
+    ops = [ClientOp("SET", b"k%d" % (i % 7), b"v" * 64) for i in range(60)]
+    save_trace(ops, p)
+
+    def once():
+        system = build_slimio(config=CFG)
+        s = TraceWorkload.from_file(p, clients=3).run(system)
+        system.stop()
+        return s["duration"], s["set_p999"]
+
+    assert once() == once()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TraceWorkload([], clients=1)
+    with pytest.raises(ValueError):
+        TraceWorkload(OPS, clients=0)
