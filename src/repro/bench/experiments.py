@@ -15,7 +15,6 @@ from repro import build_baseline, build_slimio
 from repro.bench.report import ExperimentResult
 from repro.bench.scales import BENCH_SCALE, Scale
 from repro.imdb import ClientOp
-from repro.kernel import CpuAccount
 from repro.persist import LoggingPolicy, SnapshotKind
 from repro.workloads import make_key, make_value
 
@@ -30,6 +29,19 @@ MB = 1024 * 1024
 # --------------------------------------------------------------------------
 # helpers
 # --------------------------------------------------------------------------
+
+def _build(builder, config):
+    """Stand up a system with a telemetry registry attached, so every
+    experiment row can carry a counter/WAF snapshot of its run."""
+    system = builder(config=config)
+    system.attach_obs()
+    return system
+
+
+def _telemetry(system) -> dict:
+    """Final instrument snapshot of a (possibly stopped) system."""
+    return system.obs.snapshot() if system.obs is not None else {}
+
 
 def _fill_store(system, n_keys: int, value_size: int) -> None:
     """Dataset setup through the server (pays sim time, builds WAL)."""
@@ -88,12 +100,13 @@ def table1(scale: Scale = BENCH_SCALE) -> ExperimentResult:
         ),
     )
     for fs in ("ext4", "f2fs"):
-        system = build_baseline(
-            config=scale.system_config(gc_pressure=False, fs=fs)
+        system = _build(
+            build_baseline, scale.system_config(gc_pressure=False, fs=fs)
         )
         workload = scale.redis_bench(snapshot_at_fraction=0.45)
         rep = workload.run(system)
         system.stop()
+        result.telemetry[fs] = _telemetry(system)
         result.add_row(fs, "WAL only", rep.rps_wal_only,
                        _mbps(rep.steady_memory))
         result.add_row(fs, "Snapshot&WAL", rep.rps_wal_snapshot,
@@ -132,9 +145,10 @@ def table2(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     shares = {}
     for scenario, concurrent in (("Snapshot Only", False),
                                  ("Snapshot&WAL", True)):
-        system = build_baseline(
-            config=scale.system_config(gc_pressure=False, fs="f2fs",
-                                       trigger=False)
+        system = _build(
+            build_baseline,
+            scale.system_config(gc_pressure=False, fs="f2fs",
+                                trigger=False),
         )
         _fill_store(system, scale.redis_keys, scale.redis_value)
         _quiesce(system)
@@ -148,6 +162,7 @@ def table2(scale: Scale = BENCH_SCALE) -> ExperimentResult:
         else:
             stats = _snapshot_stats(system)
         system.stop()
+        result.telemetry[scenario] = _telemetry(system)
         fs_time = sum(stats.breakdown.get(k, 0.0) for k in
                       ("fs", "fs_lock_wait", "syscall", "pagecache"))
         cpu_time = sum(v for k, v in stats.breakdown.items()
@@ -175,31 +190,36 @@ def _fig2_scenarios(scale: Scale):
     """Run the three §3.1 scenarios on the baseline; returns
     {scenario: SnapshotStats}."""
     out = {}
+    telemetry = {}
     # (1) Snapshot Only: quiescent server, large device
-    system = build_baseline(
-        config=scale.system_config(gc_pressure=False, trigger=False))
+    system = _build(
+        build_baseline, scale.system_config(gc_pressure=False, trigger=False))
     _fill_store(system, scale.redis_keys, scale.redis_value)
     _quiesce(system)
     out["Snapshot Only"] = _snapshot_stats(system)
+    telemetry["Snapshot Only"] = _telemetry(system)
     system.stop()
     # (2) Snapshot & WAL: concurrent clients, large device
-    system = build_baseline(
-        config=scale.system_config(gc_pressure=False, trigger=False))
+    system = _build(
+        build_baseline, scale.system_config(gc_pressure=False, trigger=False))
     workload = scale.redis_bench(snapshot_at_fraction=0.3)
     workload.run(system)
     out["Snapshot & WAL"] = system.metrics.snapshots[0]
+    telemetry["Snapshot & WAL"] = _telemetry(system)
     system.stop()
     # (3) Snapshot & WAL (under GC): small device + churn warmup; the
     # WAL-snapshot trigger stays on so the log rotates (it is also what
     # creates the short-lived/long-lived mix on the device)
-    system = build_baseline(
-        config=scale.system_config(gc_pressure=True, trigger=True))
+    system = _build(
+        build_baseline, scale.system_config(gc_pressure=True, trigger=True))
     workload = scale.redis_bench(snapshot_at_fraction=0.6)
     workload.run(system, warmup_ops=scale.warmup_ops)
     snaps = system.metrics.snapshots
     out["Snapshot & WAL (under GC)"] = max(snaps, key=lambda s: s.duration)
     out["_gc_erased"] = system.device.ftl.stats.segments_erased
+    telemetry["Snapshot & WAL (under GC)"] = _telemetry(system)
     system.stop()
+    out["_telemetry"] = telemetry
     return out
 
 
@@ -217,6 +237,7 @@ def figure2a(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     )
     runs = _fig2_scenarios(scale)
     gc_erased = runs.pop("_gc_erased")
+    result.telemetry = runs.pop("_telemetry")
     totals = {}
     kernel_share = {}
     for scenario, stats in runs.items():
@@ -258,6 +279,7 @@ def figure2b(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     )
     runs = _fig2_scenarios(scale)
     runs.pop("_gc_erased")
+    result.telemetry = runs.pop("_telemetry")
     ratios = {}
     for scenario, stats in runs.items():
         ideal = stats.raw_bytes / stats.time_in_memory()
@@ -289,12 +311,13 @@ def _overall_rows(scale: Scale, workload_factory, gc_pressure: bool,
                   with_get: bool):
     rows = []
     reports = {}
+    telemetry = {}
     for policy in (LoggingPolicy.PERIODICAL, LoggingPolicy.ALWAYS):
         for sys_name, builder in (("Baseline", build_baseline),
                                   ("SlimIO", build_slimio)):
             cfg = scale.system_config(gc_pressure=gc_pressure,
                                       policy=policy)
-            system = builder(config=cfg)
+            system = _build(builder, cfg)
             workload = workload_factory()
             rep = workload.run(
                 system,
@@ -302,6 +325,7 @@ def _overall_rows(scale: Scale, workload_factory, gc_pressure: bool,
             )
             system.stop()
             reports[(policy, sys_name)] = rep
+            telemetry[f"{policy.value}/{sys_name}"] = _telemetry(system)
             row = [policy.value, sys_name,
                    rep.rps_wal_only, _mbps(rep.steady_memory),
                    rep.rps_wal_snapshot, _mbps(rep.peak_memory),
@@ -311,7 +335,7 @@ def _overall_rows(scale: Scale, workload_factory, gc_pressure: bool,
                 row.append(rep.get_p999 * 1e3)
             row.append(rep.waf)
             rows.append(row)
-    return rows, reports
+    return rows, reports, telemetry
 
 
 def _overall_checks(result: ExperimentResult, reports, check_waf: bool):
@@ -380,9 +404,11 @@ def table3(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     def factory():
         return scale.redis_bench(snapshot_at_fraction=0.5)
 
-    rows, reports = _overall_rows(scale, factory, gc_pressure=True,
-                                  with_get=False)
+    rows, reports, telemetry = _overall_rows(scale, factory,
+                                             gc_pressure=True,
+                                             with_get=False)
     result.rows = rows
+    result.telemetry = telemetry
     _overall_checks(result, reports, check_waf=True)
     return result
 
@@ -408,9 +434,11 @@ def table4(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     def factory():
         return scale.ycsb_a()
 
-    rows, reports = _overall_rows(scale, factory, gc_pressure=False,
-                                  with_get=True)
+    rows, reports, telemetry = _overall_rows(scale, factory,
+                                             gc_pressure=False,
+                                             with_get=True)
     result.rows = rows
+    result.telemetry = telemetry
     _overall_checks(result, reports, check_waf=False)
     for policy in (LoggingPolicy.PERIODICAL, LoggingPolicy.ALWAYS):
         base = reports[(policy, "Baseline")]
@@ -439,8 +467,8 @@ def table5(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     outcomes = {}
     for name, builder in (("Baseline", build_baseline),
                           ("SlimIO", build_slimio)):
-        system = builder(
-            config=scale.system_config(gc_pressure=False, trigger=False))
+        system = _build(
+            builder, scale.system_config(gc_pressure=False, trigger=False))
         _fill_store(system, scale.redis_keys, scale.redis_value)
         _quiesce(system)
         stats = _snapshot_stats(system, SnapshotKind.ON_DEMAND)
@@ -451,6 +479,7 @@ def table5(scale: Scale = BENCH_SCALE) -> ExperimentResult:
                 system.recover(SnapshotKind.ON_DEMAND))
         )
         system.stop()
+        result.telemetry[name] = _telemetry(system)
         if result_rec.snapshot_entries != scale.redis_keys:
             raise AssertionError("recovery did not restore every entry")
         outcomes[name] = result_rec
@@ -485,13 +514,13 @@ def _timeline_run(scale: Scale, builder, **config_overrides):
                               policy=LoggingPolicy.PERIODICAL,
                               **config_overrides)
     scale = heavy
-    system = builder(config=cfg)
+    system = _build(builder, cfg)
     workload = scale.redis_bench(
         total_ops=scale.redis_ops, snapshot_at_fraction=None)
     rep = workload.run(system, warmup_ops=scale.warmup_ops)
     gc_runs = system.device.ftl.stats.segments_erased
     system.stop()
-    return rep, gc_runs
+    return rep, gc_runs, _telemetry(system)
 
 
 def _dip_metrics(timeline):
@@ -524,11 +553,12 @@ def figure4(scale: Scale = BENCH_SCALE) -> ExperimentResult:
         ("Baseline", build_baseline, {}),
         ("SlimIO (no FDP)", build_slimio, {"fdp": False}),
     ):
-        rep, gc_runs = _timeline_run(scale, builder, **overrides)
+        rep, gc_runs, telemetry = _timeline_run(scale, builder, **overrides)
         ratio, dips = _dip_metrics(rep.timeline)
         med = float(np.median(rep.timeline[1]))
         metrics[name] = (ratio, dips)
         reports[name] = rep
+        result.telemetry[name] = telemetry
         result.add_row(name, med, ratio, dips, gc_runs)
         result.series[name] = rep.timeline
     result.check(
@@ -568,19 +598,21 @@ def figure5(scale: Scale = BENCH_SCALE) -> ExperimentResult:
             "paper) outside snapshot windows; WAF is 1.00"
         ),
     )
-    rep_fdp, _ = _timeline_run(scale, build_slimio, fdp=True)
+    rep_fdp, _, tel_fdp = _timeline_run(scale, build_slimio, fdp=True)
     ratio_fdp, dips_fdp = _dip_metrics(rep_fdp.timeline)
     result.add_row("SlimIO (FDP)", float(np.median(rep_fdp.timeline[1])),
                    ratio_fdp, dips_fdp, rep_fdp.waf, 0)
     result.series["SlimIO (FDP)"] = rep_fdp.timeline
+    result.telemetry["SlimIO (FDP)"] = tel_fdp
 
     # the baseline on the conventional device is the WAF counterpart
     # the paper reports in Table 3 (1.14/1.24 vs 1.00)
-    rep_base, _ = _timeline_run(scale, build_baseline)
+    rep_base, _, tel_base = _timeline_run(scale, build_baseline)
     ratio_base, dips_base = _dip_metrics(rep_base.timeline)
     result.add_row("Baseline (conventional)",
                    float(np.median(rep_base.timeline[1])),
                    ratio_base, dips_base, rep_base.waf, None)
+    result.telemetry["Baseline (conventional)"] = tel_base
 
     result.check("FDP keeps WAF at exactly 1.00",
                  abs(rep_fdp.waf - 1.0) < 1e-9)

@@ -51,6 +51,8 @@ class ExperimentResult:
     notes: str = ""
     #: raw series for figures: name -> (x array, y array)
     series: dict = field(default_factory=dict)
+    #: per-run telemetry snapshots: run label -> MetricsRegistry.snapshot()
+    telemetry: dict = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         self.rows.append(list(values))
@@ -78,4 +80,31 @@ class ExperimentResult:
                 out.append(f"  [{'ok' if ok else 'MISS'}] {desc}")
         if self.notes:
             out += ["", self.notes]
+        if self.telemetry:
+            out.append("")
+            out.append("Telemetry (key counters per run):")
+            for label, snap in self.telemetry.items():
+                picks = _telemetry_highlights(snap)
+                if picks:
+                    out.append(f"  {label}: " + "  ".join(picks))
         return "\n".join(out)
+
+
+#: metrics surfaced in the per-run telemetry footer, (key, short label)
+_HIGHLIGHT_METRICS = (
+    ("ftl_waf", "waf"),
+    ("server_wal_buffer_stalls_total", "wal-stalls"),
+    ("fs_journal_commits_total", "journal-commits"),
+    ("wal_group_commits_total", "group-commits"),
+)
+
+
+def _telemetry_highlights(snapshot: dict) -> list[str]:
+    """Pick a handful of headline metrics out of a registry snapshot."""
+    picks = []
+    for key, label in _HIGHLIGHT_METRICS:
+        for name, summary in snapshot.items():
+            if name == key or name.startswith(key + "{"):
+                picks.append(f"{label}={_fmt(summary.get('value', 0.0))}")
+                break
+    return picks

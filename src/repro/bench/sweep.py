@@ -12,7 +12,7 @@ import csv
 import itertools
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable
 
 __all__ = ["SweepResult", "sweep", "write_csv"]
 

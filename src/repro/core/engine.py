@@ -47,7 +47,6 @@ from repro.persist.file_backends import (
     FileSnapshotSink,
     FileSnapshotSource,
 )
-from repro.persist.recovery import RecoveryResult
 from repro.sim import Environment
 
 __all__ = [
@@ -109,6 +108,18 @@ class _SystemBase:
     device: NvmeDevice
     server: Server
     config: SystemConfig
+    #: optional telemetry registry (``None`` = instrumentation disabled)
+    obs = None
+
+    def attach_obs(self, registry=None):
+        """Attach a :class:`repro.obs.MetricsRegistry` to every layer.
+
+        Creates one named after the server when ``registry`` is None.
+        Returns the registry so callers can export/summarize it later.
+        """
+        from repro.obs.wiring import attach_registry
+
+        return attach_registry(self, registry)
 
     @property
     def metrics(self):
@@ -168,6 +179,7 @@ class BaselineSystem(_SystemBase):
             Compressor(level=self.config.compression_level,
                        model=self.config.compression),
             self.config.compression,
+            obs=self.obs,
         )
         return result
 
@@ -228,18 +240,27 @@ class SlimIOSystem(_SystemBase):
                 sqpoll=self.config.sqpoll, name=f"snapshot-path-{kind.value}",
             )
         self._snap_rings[kind] = ring
-        return SnapshotPath(
+        path = SnapshotPath(
             self.env, ring, self.space, self.meta_store, kind,
             self.config.placement,
         )
+        if self.obs is not None:
+            # ring may be the shared WAL ring (ablation) — already wired
+            if ring is not self.wal_ring:
+                ring.attach_obs(self.obs)
+            path.attach_obs(self.obs)
+        return path
 
     def snapshot_source(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
                         ring: Optional[PassthruQueuePair] = None,
                         ) -> SlimIOSnapshotSource:
-        return SlimIOSnapshotSource(
+        source = SlimIOSnapshotSource(
             ring or self.wal_ring, self.space, kind,
             readahead_pages=self.config.recovery_readahead_pages,
         )
+        if self.obs is not None:
+            source.attach_obs(self.obs)
+        return source
 
     def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
                 account: Optional[CpuAccount] = None) -> Generator:
@@ -263,6 +284,7 @@ class SlimIOSystem(_SystemBase):
             Compressor(level=self.config.compression_level,
                        model=self.config.compression),
             self.config.compression,
+            obs=self.obs,
         )
         return result
 

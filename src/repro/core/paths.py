@@ -33,7 +33,7 @@ from repro.core.placement import PlacementPolicy
 from repro.core.readahead import ReadAheadBuffer
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.iouring import PassthruQueuePair
-from repro.nvme import DeallocateCmd, ReadCmd, WriteCmd
+from repro.nvme import ReadCmd, WriteCmd
 from repro.persist.interfaces import AppendSink, SnapshotSink, SnapshotSource
 from repro.persist.snapshot import SnapshotKind
 from repro.sim import Environment, Event
@@ -71,6 +71,14 @@ class WalPath(AppendSink):
         self._gen_bytes = 0
         self._prev_gen_bytes = 0  # logical length of the retiring generation
         self._meta_inflight: Optional[Event] = None
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: flush sizes and device page traffic."""
+        self.obs = registry
+        self._obs_flush_bytes = registry.histogram("walpath_flush_bytes")
+        self._obs_flush_pages = registry.counter("walpath_flush_pages_total")
+        self._obs_meta_writes = registry.counter("walpath_meta_writes_total")
 
     # ------------------------------------------------------------------ sink API
     @property
@@ -121,6 +129,9 @@ class WalPath(AppendSink):
             vpn += n
         for ev in events:
             yield from self.ring.wait(ev, account)
+        if self.obs is not None:
+            self._obs_flush_bytes.observe(float(len(data)))
+            self._obs_flush_pages.inc(needed)
 
         if rem:
             self._tail = data[full_pages * page :]
@@ -143,6 +154,8 @@ class WalPath(AppendSink):
 
         self.env.process(_writer(), name="wal-meta")
         self._meta_inflight = done
+        if self.obs is not None:
+            self._obs_meta_writes.inc()
         return
         yield  # pragma: no cover
 
@@ -270,6 +283,16 @@ class SnapshotPath(SnapshotSink):
         self._pages_written = 0
         self._bytes = 0
         self._inflight: list[Event] = []
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: streamed pages + in-flight window."""
+        self.obs = registry
+        self._obs_pages = registry.counter("snapshot_path_pages_total",
+                                           kind=self.kind.value)
+        self._obs_window = registry.gauge("snapshot_path_inflight_batches",
+                                          kind=self.kind.value)
+        self._obs_window.set(0.0)
 
     @property
     def bytes_written(self) -> int:
@@ -317,11 +340,16 @@ class SnapshotPath(SnapshotSink):
         )
         self._pages_written += npages
         self._inflight.append(ev)
+        if self.obs is not None:
+            self._obs_pages.inc(npages)
+            self._obs_window.set(float(len(self._inflight)))
         # bounded window: the CQ handler keeps up, the submitter only
         # stalls when the device is genuinely behind
         while len(self._inflight) > self.max_inflight:
             oldest = self._inflight.pop(0)
             yield from self.ring.wait(oldest, account)
+        if self.obs is not None:
+            self._obs_window.set(float(len(self._inflight)))
 
     def finalize(self, account: CpuAccount) -> Generator:
         slot = self._ensure_slot()
@@ -383,6 +411,9 @@ class SlimIOSnapshotSource(SnapshotSource):
         self._buffer = ReadAheadBuffer(
             ring, base, max(npages, 1), window_pages=readahead_pages
         )
+
+    def attach_obs(self, registry) -> None:
+        self._buffer.attach_obs(registry)
 
     @property
     def size(self) -> int:

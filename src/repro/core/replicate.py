@@ -27,7 +27,7 @@ from repro.imdb import ClientOp
 from repro.kernel.accounting import CpuAccount
 from repro.persist import SnapshotKind
 from repro.persist.compress import Compressor
-from repro.persist.encoding import OP_DEL, OP_SET, RdbReader
+from repro.persist.encoding import RdbReader
 from repro.sim import Environment
 
 __all__ = ["ReplicationLink", "SyncReport", "full_sync"]

@@ -22,13 +22,14 @@ host I/O, and exposes write-amplification and stall statistics.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 import numpy as np
 
 from repro.flash.geometry import FlashGeometry, NandTiming
 from repro.flash.nand import NandArray
+from repro.obs.spans import maybe_span
 from repro.sim import Environment, Event
 from repro.sim.stats import Counter
 
@@ -151,11 +152,29 @@ class FlashTranslationLayer:
         self._streams: dict[int, _Stream] = {}
         self.stats = FtlStats()
         self.counters = Counter()
+        self.obs = None
         self._space_waiters: list[Event] = []
         self._gc_kick: Optional[Event] = None
         self._bg_wake: Optional[Event] = None
         self._invalidation: Optional[Event] = None
         self._gc_proc = env.process(self._gc_loop(), name="ftl-gc")
+
+    # ------------------------------------------------------------------ telemetry
+    def attach_obs(self, registry) -> None:
+        """Register instruments on a :class:`repro.obs.MetricsRegistry`.
+
+        The WAF gauge is callback-bound to :attr:`FtlStats.waf`, so its
+        exported value is the live ratio at read time; the free-segment
+        gauge's low watermark records how close the device came to GC
+        starvation.
+        """
+        self.obs = registry
+        self._obs_waf = registry.gauge("ftl_waf", fn=lambda: self.stats.waf)
+        self._obs_free = registry.gauge("ftl_free_segments")
+        self._obs_free.set(float(len(self._free)))
+        self._obs_erased = registry.counter("ftl_segments_erased_total")
+        self._obs_stalls = registry.counter("ftl_alloc_stalls_total")
+        self._obs_gc_copies: dict[int, object] = {}
 
     # ------------------------------------------------------------------ streams
     def register_stream(self, stream_id: int) -> None:
@@ -289,11 +308,15 @@ class FlashTranslationLayer:
                 seg = self._free.popleft()
                 self._seg_state[seg] = SEG_OPEN
                 self._seg_stream[seg] = stream_id
+                if self.obs is not None:
+                    self._obs_free.set(float(len(self._free)))
                 return seg
             # out of space for this caller: wait for GC to reclaim
             waiter = self.env.event()
             self._space_waiters.append(waiter)
             self.counters.add("alloc_stalls")
+            if self.obs is not None:
+                self._obs_stalls.inc()
             yield waiter
 
     # ------------------------------------------------------------------ GC
@@ -398,33 +421,39 @@ class FlashTranslationLayer:
         g = self.geometry
         base = g.first_page_of_segment(victim)
         stream_id = int(self._seg_stream[victim])
-        copied = 0
-        window: list = []
-        for off in range(g.pages_per_segment):
-            ppn = base + off
-            lpn = int(self._p2l[ppn])
-            if lpn < 0:
-                continue
-            window.append(
-                self.env.process(
-                    self._copy_page(lpn, ppn, stream_id), name=f"gc-copy-{lpn}"
+        with maybe_span(self.obs, "gc_reclaim", track="gc",
+                        stream=stream_id):
+            copied = 0
+            window: list = []
+            for off in range(g.pages_per_segment):
+                ppn = base + off
+                lpn = int(self._p2l[ppn])
+                if lpn < 0:
+                    continue
+                window.append(
+                    self.env.process(
+                        self._copy_page(lpn, ppn, stream_id),
+                        name=f"gc-copy-{lpn}",
+                    )
                 )
-            )
-            copied += 1
-            if len(window) >= self.config.gc_copy_window:
+                copied += 1
+                if len(window) >= self.config.gc_copy_window:
+                    yield self.env.all_of(window)
+                    window = []
+            if window:
                 yield self.env.all_of(window)
-                window = []
-        if window:
-            yield self.env.all_of(window)
-        if copied == 0:
-            self.stats.copyfree_erases += 1
-        yield from self.nand.erase_segment(victim)
+            if copied == 0:
+                self.stats.copyfree_erases += 1
+            yield from self.nand.erase_segment(victim)
         self._seg_state[victim] = SEG_FREE
         self._seg_stream[victim] = -1
         self._seg_valid[victim] = 0
         self._seg_erase_count[victim] += 1
         self._free.append(victim)
         self.stats.segments_erased += 1
+        if self.obs is not None:
+            self._obs_erased.inc()
+            self._obs_free.set(float(len(self._free)))
         waiters, self._space_waiters = self._space_waiters, []
         for w in waiters:
             w.succeed()
@@ -439,6 +468,13 @@ class FlashTranslationLayer:
         dst = yield from self._place(lpn, stream_id, ROLE_GC)
         yield from self.nand.program_page(dst)
         self.stats.gc_pages_copied += 1
+        if self.obs is not None:
+            c = self._obs_gc_copies.get(stream_id)
+            if c is None:
+                c = self.obs.counter("ftl_gc_pages_copied_total",
+                                     stream=stream_id)
+                self._obs_gc_copies[stream_id] = c
+            c.inc()
 
     # ------------------------------------------------------------------ invariants
     def check_invariants(self) -> None:

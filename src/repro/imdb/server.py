@@ -29,6 +29,7 @@ from repro.imdb.expiry import ExpiryConfig, ExpiryTable
 from repro.imdb.memory import CowMemory, ForkModel
 from repro.imdb.store import KVStore
 from repro.kernel.accounting import CpuAccount
+from repro.obs.spans import maybe_span
 from repro.persist.compress import CompressionModel, Compressor
 from repro.persist.encoding import AofRecord, OP_DEL, OP_SET
 from repro.persist.interfaces import SnapshotSink
@@ -177,6 +178,33 @@ class Server:
         self._snapshot_proc = None
         self._snapshot_pending = False
         self._stopped = False
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: per-command latency, WAL-buffer
+        stalls, and a callback gauge on resident memory."""
+        self.obs = registry
+        self._obs_latency = {
+            op: registry.histogram("server_command_latency_seconds",
+                                   op=op, server=self.name)
+            for op in ("SET", "GET", "DEL")
+        }
+        self._obs_commands = {
+            op: registry.counter("server_commands_total",
+                                 op=op, server=self.name)
+            for op in ("SET", "GET", "DEL")
+        }
+        self._obs_stalls = registry.counter(
+            "server_wal_buffer_stalls_total", server=self.name
+        )
+        self._obs_stall_time = registry.histogram(
+            "server_wal_buffer_stall_seconds", server=self.name
+        )
+        registry.gauge(
+            "server_resident_bytes",
+            fn=lambda: float(self.store.used_bytes + self.cow.extra_bytes),
+            server=self.name,
+        )
 
     # ------------------------------------------------------------------ queries
     def execute(self, op: ClientOp) -> Generator:
@@ -201,9 +229,16 @@ class Server:
             # Periodical-Log hard limit: the device (e.g. mid-GC) has
             # fallen behind; write queries block until the AOF buffer
             # drains — the Figure 4 nosedive mechanism
+            t_stall = self.env.now
             yield from self.wal.wait_capacity()
+            if self.obs is not None:
+                self._obs_stalls.inc()
+                self._obs_stall_time.observe(self.env.now - t_stall)
         latency = self.env.now - t_arrive
         self.metrics.record_op(op.op, latency)
+        if self.obs is not None:
+            self._obs_latency[op.op].observe(latency)
+            self._obs_commands[op.op].inc()
         self._sample_memory()
         self._maybe_trigger_wal_snapshot()
         if self.wal is not None:
@@ -322,44 +357,49 @@ class Server:
     def _snapshot_body(self, kind: SnapshotKind, req) -> Generator:
         yield req
         t0 = self.env.now
-        try:
-            # the fork instant: capture + share pages + switch the WAL
-            # generation, all before any later command can run
-            self.cow.arm(self.store.heap_pages)
-            # expired-but-unevicted keys are omitted, as in Redis RDB
-            items = [
-                (k, v) for k, v in self.store.snapshot_items()
-                if not self.expiry.is_expired(k)
-            ]
-            if kind is SnapshotKind.WAL_TRIGGERED and self.wal is not None:
-                self.wal.rotate_begin()
-            self._snapshot_pending = False
-            # page-table copy stalls the query path
-            yield from self.cow.pt_copy_stall(self.account)
-        finally:
-            self.cpu.release(req)
-        child = SnapshotWriterProcess(
-            self.env,
-            items,
-            self._sink_for(kind),
-            kind=kind,
-            compressor=self.compressor,
-            cpu_model=self.config.snapshot_cpu,
-            compression_model=self.compression_model,
-            chunk_entries=self.config.snapshot_chunk_entries,
-            account=CpuAccount(self.env, f"{self.name}-snapshot-child"),
-        )
-        try:
-            stats = yield from child.run()
-        except Exception:
+        # the span covers fork through durable publication; the child's
+        # own snapshot_write span nests inside it on the same track
+        with maybe_span(self.obs, "snapshot", track="snapshot",
+                        kind=kind.value):
+            try:
+                # the fork instant: capture + share pages + switch the
+                # WAL generation, all before any later command can run
+                self.cow.arm(self.store.heap_pages)
+                # expired-but-unevicted keys are omitted, as in Redis RDB
+                items = [
+                    (k, v) for k, v in self.store.snapshot_items()
+                    if not self.expiry.is_expired(k)
+                ]
+                if kind is SnapshotKind.WAL_TRIGGERED and self.wal is not None:
+                    self.wal.rotate_begin()
+                self._snapshot_pending = False
+                # page-table copy stalls the query path
+                yield from self.cow.pt_copy_stall(self.account)
+            finally:
+                self.cpu.release(req)
+            child = SnapshotWriterProcess(
+                self.env,
+                items,
+                self._sink_for(kind),
+                kind=kind,
+                compressor=self.compressor,
+                cpu_model=self.config.snapshot_cpu,
+                compression_model=self.compression_model,
+                chunk_entries=self.config.snapshot_chunk_entries,
+                account=CpuAccount(self.env, f"{self.name}-snapshot-child"),
+                obs=self.obs,
+            )
+            try:
+                stats = yield from child.run()
+            except Exception:
+                self.cow.reap()
+                self.metrics.snapshot_windows.append((t0, self.env.now))
+                self._sample_memory()
+                raise
             self.cow.reap()
             self.metrics.snapshot_windows.append((t0, self.env.now))
+            self.metrics.snapshots.append(stats)
             self._sample_memory()
-            raise
-        self.cow.reap()
-        self.metrics.snapshot_windows.append((t0, self.env.now))
-        self.metrics.snapshots.append(stats)
-        self._sample_memory()
         if kind is SnapshotKind.WAL_TRIGGERED and self.wal is not None:
             # the pre-snapshot WAL generation is retired only now that
             # the covering snapshot is durable (§2.1 / §4.2 ordering)

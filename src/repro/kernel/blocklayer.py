@@ -65,6 +65,18 @@ class BlockLayer:
             self._slots = Resource(env, capacity=inflight_limit)
         self.counters = Counter()
         self.queue_latency = LatencyRecorder("blk-queue")
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: queue-wait histogram + command split."""
+        self.obs = registry
+        self._obs_queue_wait = registry.histogram(
+            "block_queue_wait_seconds", sched=self.scheduler
+        )
+        self._obs_cmds = {
+            True: registry.counter("block_cmds_total", sync="true"),
+            False: registry.counter("block_cmds_total", sync="false"),
+        }
 
     def _priority(self, cmd: NvmeCommand, sync: bool) -> float:
         if self.scheduler == SCHED_SYNC_PRIORITY:
@@ -104,6 +116,9 @@ class BlockLayer:
             yield req
         self.queue_latency.record(self.env.now - t_q)
         self.counters.add("sync_cmds" if sync else "async_cmds")
+        if self.obs is not None:
+            self._obs_queue_wait.observe(self.env.now - t_q)
+            self._obs_cmds[sync].inc()
         try:
             result = yield from self.device.submit(cmd)
         finally:

@@ -141,6 +141,25 @@ class Filesystem:
         self._files: dict[str, Inode] = {}
         self._next_id = 1
         self.counters = Counter()
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: commit-lock wait + journal traffic.
+
+        The lock-wait histogram includes uncontended (zero-wait)
+        commits, so its mean is the true per-commit tax and its p99
+        exposes the §3.1.2 contention tail.
+        """
+        self.obs = registry
+        self._obs_lock_wait = registry.histogram(
+            "fs_commit_lock_wait_seconds", fs=self.fs_name
+        )
+        self._obs_commits = registry.counter(
+            "fs_journal_commits_total", fs=self.fs_name
+        )
+        self._obs_journal_pages = registry.counter(
+            "fs_journal_pages_total", fs=self.fs_name
+        )
 
     # ------------------------------------------------------------------ namespace
     def create(self, name: str) -> "PosixFile":
@@ -212,6 +231,8 @@ class Filesystem:
         wait = self.env.now - t0
         if wait > 0:
             account.note("fs_lock_wait", wait)
+        if self.obs is not None:
+            self._obs_lock_wait.observe(wait)
         yield from account.charge("fs", self.commit_hold_time)
         self.commit_lock.release(req)
         self.counters.add("commits")
@@ -224,6 +245,8 @@ class Filesystem:
         wait = self.env.now - t0
         if wait > 0:
             account.note("fs_lock_wait", wait)
+        if self.obs is not None:
+            self._obs_lock_wait.observe(wait)
         try:
             yield from account.charge("fs", self.commit_hold_time)
             from repro.nvme import WriteCmd
@@ -242,6 +265,9 @@ class Filesystem:
             self.commit_lock.release(req)
         self.counters.add("journal_commits")
         self.counters.add("journal_pages", self.journal_io_pages)
+        if self.obs is not None:
+            self._obs_commits.inc()
+            self._obs_journal_pages.inc(self.journal_io_pages)
 
     def _ensure_allocated(self, inode: Inode, upto_bytes: int,
                           account: CpuAccount) -> Generator:

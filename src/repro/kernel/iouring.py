@@ -51,6 +51,27 @@ class IoUringRing:
         self._slots = Resource(env, capacity=depth)
         self.counters = Counter()
         self.completion_latency = LatencyRecorder(f"{name}-completion")
+        self.obs = None
+
+    def attach_obs(self, registry) -> None:
+        """Register per-ring instruments (labelled by ring name).
+
+        ``uring_enter_syscalls_total`` vs ``uring_sqpoll_pickups_total``
+        is the passthru-vs-syscall submission split the paper's §4.1
+        argues about: in SQPOLL mode the former stays at zero.
+        """
+        self.obs = registry
+        self._obs_submitted = registry.counter("uring_submitted_total",
+                                               ring=self.name)
+        self._obs_enters = registry.counter("uring_enter_syscalls_total",
+                                            ring=self.name)
+        self._obs_sqpoll = registry.counter("uring_sqpoll_pickups_total",
+                                            ring=self.name)
+        self._obs_latency = registry.histogram(
+            "uring_completion_seconds", ring=self.name
+        )
+        self._obs_depth = registry.gauge("uring_inflight", ring=self.name)
+        self._obs_depth.set(0.0)
 
     def submit(self, cmd: NvmeCommand, account: CpuAccount) -> Generator:
         """Submit one command; returns the completion :class:`Event`.
@@ -65,9 +86,15 @@ class IoUringRing:
         if not self.sqpoll:
             yield from account.charge("syscall", self.costs.uring_enter_cost)
             self.counters.add("enter_syscalls")
+            if self.obs is not None:
+                self._obs_enters.inc()
+        elif self.obs is not None:
+            self._obs_sqpoll.inc()
         done = self.env.event()
         self.env.process(self._service(cmd, done), name=f"{self.name}-svc")
         self.counters.add("submitted")
+        if self.obs is not None:
+            self._obs_submitted.inc()
         return done
 
     def _service(self, cmd: NvmeCommand, done: Event) -> Generator:
@@ -76,6 +103,8 @@ class IoUringRing:
             yield self.env.timeout(self.costs.sqpoll_pickup)
         req = self._slots.request()
         yield req
+        if self.obs is not None:
+            self._obs_depth.set(float(self._slots.count))
         try:
             result = yield from self.device.submit(cmd)
         except Exception as exc:  # surfaced to the waiter as a CQE error
@@ -85,6 +114,9 @@ class IoUringRing:
         self._slots.release(req)
         self.completion_latency.record(self.env.now - t0)
         self.counters.add("completed")
+        if self.obs is not None:
+            self._obs_latency.observe(self.env.now - t0)
+            self._obs_depth.set(float(self._slots.count))
         done.succeed(result)
 
     def wait(self, completion: Event, account: CpuAccount) -> Generator:

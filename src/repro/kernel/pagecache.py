@@ -67,7 +67,23 @@ class PageCache:
         self._throttled: list[Event] = []
         self._wb_kick: Optional[Event] = None
         self.counters = Counter()
+        self.obs = None
         env.process(self._writeback_loop(), name="writeback")
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: dirty-page gauge + throttle pressure."""
+        self.obs = registry
+        self._obs_dirty = registry.gauge("pagecache_dirty_bytes")
+        self._obs_dirty.set(float(self.dirty_bytes))
+        self._obs_throttles = registry.counter(
+            "pagecache_throttle_events_total"
+        )
+        self._obs_throttle_wait = registry.histogram(
+            "pagecache_throttle_wait_seconds"
+        )
+        self._obs_wb_pages = registry.counter(
+            "pagecache_writeback_pages_total"
+        )
 
     # ------------------------------------------------------------------ setup
     def register_file(self, file_id: int, resolver: Resolver) -> None:
@@ -149,6 +165,8 @@ class PageCache:
             "pagecache", newly_dirty * self.costs.bio_submit_cost
         )
         self.counters.add("buffered_writes")
+        if self.obs is not None:
+            self._obs_dirty.set(float(self.dirty_bytes))
         self._kick_writeback()
 
         if self.dirty_bytes > self.dirty_limit:
@@ -168,6 +186,9 @@ class PageCache:
                     pass
             account.note("dirty_throttle", self.env.now - t0)
             self.counters.add("throttle_events")
+            if self.obs is not None:
+                self._obs_throttles.inc()
+                self._obs_throttle_wait.observe(self.env.now - t0)
 
     # ------------------------------------------------------------------ read
     def read(
@@ -305,6 +326,9 @@ class PageCache:
                 WriteCmd(lba=lba, nlb=sub_len, data=data), sync=sync
             )
         self.counters.add("writeback_pages", n)
+        if self.obs is not None:
+            self._obs_wb_pages.inc(n)
+            self._obs_dirty.set(float(self.dirty_bytes))
 
     def fsync(self, file_id: int, account: CpuAccount) -> Generator:
         """Synchronously flush a file's dirty pages (sync priority)."""

@@ -12,7 +12,7 @@ device it selects the Reclaim-Unit stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["NvmeCommand", "ReadCmd", "WriteCmd", "DeallocateCmd"]

@@ -1,0 +1,54 @@
+"""Unified telemetry: metrics registry, spans, and run exporters.
+
+One :class:`MetricsRegistry` per system captures counters, gauges,
+histograms, spans, and an event log; ``attach_registry`` wires it
+through every layer of a built system; the exporters serialize a run
+to JSONL, Prometheus text, or a Chrome trace. See
+``docs/OBSERVABILITY.md`` for the naming scheme and span hierarchy.
+
+Instrumented components hold ``obs = None`` until attached and guard
+every telemetry touch with ``if self.obs is not None`` — an
+uninstrumented run does zero extra work and is event-for-event
+identical to one that never imported this package.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_records,
+    load_jsonl,
+    prometheus_text,
+    summarize_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    ObsCounter,
+    ObsGauge,
+    ObsHistogram,
+    render_metric_name,
+)
+from repro.obs.spans import NULL_SPAN, Span, SpanRecord, maybe_span
+from repro.obs.wiring import attach_registry
+
+__all__ = [
+    "MetricsRegistry",
+    "ObsCounter",
+    "ObsGauge",
+    "ObsHistogram",
+    "render_metric_name",
+    "Span",
+    "SpanRecord",
+    "NULL_SPAN",
+    "maybe_span",
+    "attach_registry",
+    "jsonl_records",
+    "write_jsonl",
+    "load_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summarize_records",
+]

@@ -1,0 +1,71 @@
+"""CLI over recorded runs: ``python -m repro.obs <cmd> <run.jsonl>``.
+
+* ``summarize`` — human-readable report of a JSONL run record.
+* ``trace`` — convert a run record's spans to Chrome trace-event JSON
+  (load the output in chrome://tracing or https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import chrome_trace, load_jsonl, summarize_records
+
+
+def _cmd_summarize(args) -> int:
+    records = load_jsonl(args.run)
+    if not records:
+        print(f"{args.run}: empty run record", file=sys.stderr)
+        return 1
+    print(summarize_records(records))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    records = load_jsonl(args.run)
+    spans = [r for r in records if r.get("type") == "span"]
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    trace = chrome_trace(spans, run_name=str(meta.get("run", "run")))
+    out = args.output or (args.run.rsplit(".", 1)[0] + ".trace.json")
+    with open(out, "w") as f:
+        json.dump(trace, f)
+    print(f"wrote {len(spans)} spans to {out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect recorded telemetry runs (JSONL event logs).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="summarize a run record")
+    p_sum.add_argument("run", help="path to a .jsonl run record")
+    p_sum.set_defaults(func=_cmd_summarize)
+
+    p_tr = sub.add_parser("trace", help="emit Chrome trace-event JSON")
+    p_tr.add_argument("run", help="path to a .jsonl run record")
+    p_tr.add_argument("-o", "--output", help="output path "
+                      "(default: <run>.trace.json)")
+    p_tr.set_defaults(func=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early — not an error
+        sys.stderr.close()
+        return 0
+    except OSError as e:
+        print(f"{args.run}: {e.strerror or e}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"{args.run}: not a JSONL run record ({e})", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""Run exporters: JSONL event log, Prometheus text, Chrome trace.
+
+Three serializations of one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* **JSONL** — the run record: one JSON object per line (meta, then
+  every span, every event-log entry, then the final value of every
+  instrument). This is the format ``python -m repro.obs summarize``
+  reads back, and the stable interchange format between runs.
+* **Prometheus text** — the familiar exposition dump
+  (``name{label="v"} value``) for final counter/gauge values and
+  histogram summaries; diffable across runs, greppable in CI logs.
+* **Chrome trace-event JSON** — the span timeline as complete (``"X"``)
+  events, one row (tid) per track, loadable in ``chrome://tracing`` or
+  Perfetto to *see* a snapshot overlapping a GC reclaim train.
+
+Simulation time is seconds; trace timestamps are microseconds per the
+trace-event spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.obs.registry import MetricsRegistry, render_metric_name
+
+__all__ = [
+    "jsonl_records",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_jsonl",
+    "summarize_records",
+]
+
+
+# --------------------------------------------------------------------- JSONL
+def jsonl_records(registry: MetricsRegistry) -> Iterator[dict]:
+    """The run record as an ordered stream of plain dicts."""
+    yield {
+        "type": "meta",
+        "run": registry.name,
+        "sim_time": registry.env.now,
+        "spans": len(registry.spans),
+        "spans_dropped": registry.spans_dropped,
+        "instruments": len(registry.instruments()),
+    }
+    for s in registry.spans:
+        yield {
+            "type": "span", "name": s.name, "track": s.track,
+            "t0": s.t0, "t1": s.t1, "dur": s.duration,
+            "labels": s.labels, "ok": s.ok,
+        }
+    for ev in registry.events:
+        yield {"type": "event", **ev}
+    for inst in registry.instruments():
+        yield {
+            "type": inst.kind, "name": inst.name, "labels": inst.labels,
+            **inst.summary(),
+        }
+
+
+def write_jsonl(registry: MetricsRegistry, path) -> int:
+    """Write the run record; returns the number of lines written."""
+    n = 0
+    with open(path, "w") as f:
+        for rec in jsonl_records(registry):
+            f.write(json.dumps(rec) + "\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read a run record back (blank lines tolerated)."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ---------------------------------------------------------------- Prometheus
+def _prom_value(v: float) -> str:
+    if v != v:  # nan
+        return "NaN"
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format of every instrument's final state."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for inst in registry.instruments():
+        prom_kind = "counter" if inst.kind == "counter" else "gauge"
+        if inst.name not in seen_types:
+            lines.append(f"# TYPE {inst.name} "
+                         f"{'summary' if inst.kind == 'histogram' else prom_kind}")
+            seen_types.add(inst.name)
+        if inst.kind == "histogram":
+            base = dict(inst.labels)
+            s = inst.summary()
+            lines.append(
+                f"{render_metric_name(inst.name + '_count', base)} "
+                f"{_prom_value(s.get('count', 0))}"
+            )
+            lines.append(
+                f"{render_metric_name(inst.name + '_sum', base)} "
+                f"{_prom_value(s.get('sum', 0.0))}"
+            )
+            for q in (50, 99):
+                lines.append(
+                    f"{render_metric_name(inst.name, {**base, 'quantile': f'0.{q}'})} "
+                    f"{_prom_value(inst.percentile(q))}"
+                )
+        else:
+            lines.append(
+                f"{render_metric_name(inst.name, inst.labels)} "
+                f"{_prom_value(inst.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    with open(path, "w") as f:
+        f.write(prometheus_text(registry))
+
+
+# -------------------------------------------------------------- Chrome trace
+def chrome_trace(spans: Iterable, run_name: str = "run") -> dict:
+    """Trace-event JSON from span records (objects or JSONL dicts)."""
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for s in spans:
+        if isinstance(s, dict):
+            name, track = s["name"], s["track"]
+            t0, t1, labels = s["t0"], s["t1"], s.get("labels") or {}
+        else:
+            name, track = s.name, s.track
+            t0, t1, labels = s.t0, s.t1, s.labels
+        tid = tids.setdefault(track, len(tids) + 1)
+        events.append({
+            "name": name,
+            "cat": track,
+            "ph": "X",
+            "ts": t0 * 1e6,
+            "dur": max((t1 - t0) * 1e6, 0.001),
+            "pid": 1,
+            "tid": tid,
+            "args": {str(k): str(v) for k, v in labels.items()},
+        })
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": run_name}},
+    ]
+    for track, tid in tids.items():
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1,
+                     "tid": tid, "args": {"name": track}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(registry_or_spans, path, run_name: str = "run") -> int:
+    """Write a Chrome trace; returns the number of span events."""
+    if isinstance(registry_or_spans, MetricsRegistry):
+        spans = registry_or_spans.spans
+        run_name = registry_or_spans.name
+    else:
+        spans = registry_or_spans
+    trace = chrome_trace(spans, run_name=run_name)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+
+
+# ----------------------------------------------------------------- summaries
+def _fmt_seconds(x: float) -> str:
+    if x != x:
+        return "-"
+    if x >= 1.0:
+        return f"{x:.3f} s"
+    if x >= 1e-3:
+        return f"{x * 1e3:.3f} ms"
+    return f"{x * 1e6:.1f} us"
+
+
+def summarize_records(records: list[dict]) -> str:
+    """Human summary of a loaded JSONL run record."""
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    spans = [r for r in records if r.get("type") == "span"]
+    counters = [r for r in records if r.get("type") == "counter"]
+    gauges = [r for r in records if r.get("type") == "gauge"]
+    hists = [r for r in records if r.get("type") == "histogram"]
+    events = [r for r in records if r.get("type") == "event"]
+
+    out: list[str] = []
+    out.append(f"run: {meta.get('run', '?')}   "
+               f"sim time: {meta.get('sim_time', float('nan')):.6f} s   "
+               f"spans: {len(spans)}   instruments: "
+               f"{len(counters) + len(gauges) + len(hists)}")
+
+    if spans:
+        out.append("")
+        out.append("spans (by name):")
+        by_name: dict[str, list[dict]] = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        header = f"  {'name':28s} {'track':10s} {'count':>6s} " \
+                 f"{'total':>12s} {'mean':>12s} {'max':>12s}"
+        out.append(header)
+        for name in sorted(by_name):
+            group = by_name[name]
+            durs = [s["dur"] for s in group]
+            out.append(
+                f"  {name:28s} {group[0]['track']:10s} {len(group):6d} "
+                f"{_fmt_seconds(sum(durs)):>12s} "
+                f"{_fmt_seconds(sum(durs) / len(durs)):>12s} "
+                f"{_fmt_seconds(max(durs)):>12s}"
+            )
+
+    if counters:
+        out.append("")
+        out.append("counters:")
+        for c in sorted(counters, key=lambda r: r["name"]):
+            out.append(f"  {render_metric_name(c['name'], c['labels']):58s} "
+                       f"{c.get('value', 0):,.0f}")
+    if gauges:
+        out.append("")
+        out.append("gauges:")
+        for g in sorted(gauges, key=lambda r: r["name"]):
+            extra = ""
+            if "low_water" in g:
+                extra = (f"   [low {g['low_water']:,.4g} / "
+                         f"high {g['high_water']:,.4g}]")
+            out.append(f"  {render_metric_name(g['name'], g['labels']):58s} "
+                       f"{g.get('value', 0):,.4g}{extra}")
+    if hists:
+        out.append("")
+        out.append("histograms:")
+        for h in sorted(hists, key=lambda r: r["name"]):
+            if not h.get("count"):
+                continue
+            out.append(
+                f"  {render_metric_name(h['name'], h['labels']):58s} "
+                f"n={h['count']:<8,d} mean={h['mean']:.4g} "
+                f"p50={h['p50']:.4g} p99={h['p99']:.4g} max={h['max']:.4g}"
+            )
+    if events:
+        out.append("")
+        out.append(f"event log: {len(events)} entries "
+                   f"(first at t={events[0]['t']:.6f}, "
+                   f"last at t={events[-1]['t']:.6f})")
+    return "\n".join(out)

@@ -1,0 +1,261 @@
+"""The label-aware metrics registry.
+
+One :class:`MetricsRegistry` holds every instrument of one system
+(or one run): monotonic :class:`ObsCounter`\\ s, :class:`ObsGauge`\\ s
+with low/high watermarks, and :class:`ObsHistogram`\\ s with bounded
+reservoirs, each keyed by ``(name, labels)``. It also owns the span
+log (see :mod:`repro.obs.spans`) and a timestamped event log, so one
+object captures everything an exporter needs.
+
+Instruments are get-or-create: ``registry.counter("wal_flushes",
+path="wal")`` returns the same object every time, so components fetch
+their handles once at attach time and hot paths touch only plain
+attribute math. Components that were never attached skip all of it —
+the instrumentation contract is *zero work without a registry*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.spans import Span, SpanRecord
+from repro.sim.engine import Environment
+from repro.sim.tracing import Tracer
+
+__all__ = ["ObsCounter", "ObsGauge", "ObsHistogram", "MetricsRegistry",
+           "render_metric_name"]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class ObsCounter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"value": self.value}
+
+
+class ObsGauge:
+    """An instantaneous value with low/high watermarks.
+
+    A gauge can instead be bound to a callback (``fn``) for values that
+    live elsewhere — e.g. the live WAF, which is a ratio the FTL
+    already maintains; callback gauges are sampled at read time, so
+    they are exactly as fresh as the underlying statistic.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_fn", "low_water", "high_water")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict, fn=None):
+        self.name = name
+        self.labels = labels
+        self._fn = fn
+        self._value = 0.0
+        self.low_water = float("inf")
+        self.high_water = float("-inf")
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-bound")
+        self._value = value
+        if value < self.low_water:
+            self.low_water = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def summary(self) -> dict:
+        out = {"value": self.value}
+        if self.low_water != float("inf"):
+            out["low_water"] = self.low_water
+            out["high_water"] = self.high_water
+        return out
+
+
+class ObsHistogram:
+    """Sample distribution with a bounded reservoir.
+
+    Count / sum / min / max are exact whatever the volume; percentiles
+    come from a fixed-size reservoir (Vitter's algorithm R with a
+    deterministic per-instrument RNG, so runs stay reproducible).
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_reservoir", "_cap", "_rng")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict, reservoir: int = 512):
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: list[float] = []
+        self._cap = reservoir
+        self._rng = np.random.default_rng(
+            abs(hash((name,) + _label_key(labels))) % (2**32)
+        )
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._cap:
+            self._reservoir.append(value)
+        else:
+            j = int(self._rng.integers(0, self.count))
+            if j < self._cap:
+                self._reservoir[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not self._reservoir:
+            return float("nan")
+        return float(np.percentile(
+            np.asarray(self._reservoir, dtype=np.float64), q
+        ))
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """All telemetry of one system: instruments + spans + events."""
+
+    def __init__(self, env: Environment, name: str = "run",
+                 trace_capacity: int = 65536,
+                 span_capacity: int = 1 << 20):
+        self.env = env
+        self.name = name
+        #: span begin/end chronology, ring-buffered (oldest evicted)
+        self.tracer = Tracer(env, capacity=trace_capacity)
+        self._instruments: dict[tuple, object] = {}
+        self._spans: list[SpanRecord] = []
+        self._span_capacity = span_capacity
+        self.spans_dropped = 0
+        self._events: list[dict] = []
+
+    # ------------------------------------------------------------ instruments
+    def _get(self, cls, name: str, labels: dict, **kw):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, labels, **kw)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"{name}{labels} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> ObsCounter:
+        return self._get(ObsCounter, name, labels)
+
+    def gauge(self, name: str, fn=None, **labels) -> ObsGauge:
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = ObsGauge(name, labels, fn=fn)
+            self._instruments[key] = inst
+        elif not isinstance(inst, ObsGauge):
+            raise TypeError(f"{name}{labels} already registered as {inst.kind}")
+        return inst
+
+    def histogram(self, name: str, reservoir: int = 512,
+                  **labels) -> ObsHistogram:
+        return self._get(ObsHistogram, name, labels, reservoir=reservoir)
+
+    def instruments(self):
+        """All instruments in registration order."""
+        return list(self._instruments.values())
+
+    # ------------------------------------------------------------ spans/events
+    def span(self, name: str, track: str = "main", **labels) -> Span:
+        return Span(self, name, track, labels)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        if len(self._spans) >= self._span_capacity:
+            self._spans.pop(0)
+            self.spans_dropped += 1
+        self._spans.append(record)
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        return self._spans
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return [s for s in self._spans if s.name == name]
+
+    def event(self, name: str, **fields) -> None:
+        """Append one timestamped entry to the run event log."""
+        self._events.append({"t": self.env.now, "name": name, **fields})
+
+    @property
+    def events(self) -> list[dict]:
+        return self._events
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> dict[str, dict]:
+        """Final values of every instrument, keyed by rendered name.
+
+        The rendered key is the Prometheus form:
+        ``name{label="value",...}``.
+        """
+        out: dict[str, dict] = {}
+        for inst in self._instruments.values():
+            out[render_metric_name(inst.name, inst.labels)] = {
+                "kind": inst.kind, **inst.summary()
+            }
+        return out
+
+
+def render_metric_name(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    body = ",".join(
+        f'{k}="{v}"' for k, v in sorted(
+            (str(k), str(v)) for k, v in labels.items()
+        )
+    )
+    return f"{name}{{{body}}}"

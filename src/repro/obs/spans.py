@@ -1,0 +1,101 @@
+"""Span timing: context managers over simulated time.
+
+A :class:`Span` brackets a region of a simulation process — WAL flush,
+snapshot write, GC reclaim, recovery replay — recording its start/end
+on the simulation clock. Spans are context managers, so they compose
+naturally with generator-based processes::
+
+    with obs.span("wal_flush", track="wal", policy="periodical"):
+        yield from self._drain_locked(fsync=False)
+
+Each completed span lands in the owning registry's span log and emits
+begin/end records into the registry's :class:`~repro.sim.tracing.Tracer`
+(so the merged chronology and the span timeline stay in lockstep).
+
+``maybe_span`` is the zero-cost entry point for instrumented
+components: when no registry is attached it returns a shared no-op
+context manager and touches nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SpanRecord", "Span", "NULL_SPAN", "maybe_span"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span on the simulation timeline."""
+
+    name: str
+    track: str
+    t0: float
+    t1: float
+    labels: dict = field(default_factory=dict)
+    ok: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Span:
+    """A live span; created via :meth:`MetricsRegistry.span`."""
+
+    __slots__ = ("registry", "name", "track", "labels", "t0", "t1")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, track: str,
+                 labels: dict):
+        self.registry = registry
+        self.name = name
+        self.track = track
+        self.labels = labels
+        self.t0: Optional[float] = None
+        self.t1: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self.t0 = self.registry.env.now
+        self.registry.tracer.emit(self.track, f"{self.name}:begin",
+                                  self.labels or None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t1 = self.registry.env.now
+        ok = exc_type is None
+        self.registry.tracer.emit(
+            self.track, f"{self.name}:end" if ok else f"{self.name}:error",
+            self.labels or None,
+        )
+        self.registry._record_span(
+            SpanRecord(self.name, self.track, self.t0, self.t1,
+                       self.labels, ok)
+        )
+        return False  # never swallow exceptions
+
+
+class _NullSpan:
+    """Shared no-op span used when no registry is attached."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(registry: Optional["MetricsRegistry"], name: str,
+               track: str = "main", **labels):
+    """A span on ``registry``, or a no-op when none is attached."""
+    if registry is None:
+        return NULL_SPAN
+    return registry.span(name, track=track, **labels)

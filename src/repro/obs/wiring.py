@@ -1,0 +1,56 @@
+"""Attach one registry across every layer of a built system.
+
+``attach_registry`` walks a :class:`~repro.core.engine.BaselineSystem`
+or :class:`~repro.core.engine.SlimIOSystem` handle (duck-typed — any
+object with the same attribute names works) and calls each component's
+``attach_obs``. Components created after attachment (the per-kind
+snapshot rings and paths, recovery read-ahead buffers) are wired at
+their creation sites via ``getattr(system, "obs", None)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["attach_registry"]
+
+#: system attributes probed for an ``attach_obs`` method, in wiring
+#: order (server first so its gauges register before kernel noise)
+_COMPONENT_ATTRS = (
+    "server",
+    "wal",
+    "wal_path",
+    "wal_ring",
+    "cache",
+    "block",
+    "fs",
+)
+
+
+def attach_registry(system, registry: Optional[MetricsRegistry] = None,
+                    ) -> MetricsRegistry:
+    """Wire a registry through ``system``; returns the registry.
+
+    Creates one (named after the server) when none is passed. Safe to
+    call once per system; instruments are get-or-create so re-wiring
+    the same registry is harmless.
+    """
+    if registry is None:
+        registry = MetricsRegistry(system.env, name=system.server.name)
+    system.obs = registry
+    for attr in _COMPONENT_ATTRS:
+        comp = getattr(system, attr, None)
+        if comp is not None and hasattr(comp, "attach_obs"):
+            comp.attach_obs(registry)
+    device = getattr(system, "device", None)
+    if device is not None:
+        device.ftl.attach_obs(registry)
+    # snapshot rings/paths that already exist (late ones self-wire)
+    for ring in getattr(system, "_snap_rings", {}).values():
+        ring.attach_obs(registry)
+    for sink in getattr(system.server, "_sinks", {}).values():
+        if hasattr(sink, "attach_obs"):
+            sink.attach_obs(registry)
+    return registry

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.kernel.accounting import CpuAccount
+from repro.obs.spans import maybe_span
 from repro.persist.compress import CompressionModel, Compressor
 from repro.persist.encoding import AofCodec, OP_DEL, OP_SET, RdbReader
 from repro.persist.interfaces import AppendSink, SnapshotSource
@@ -51,11 +52,15 @@ def recover_store(
     compressor: Optional[Compressor] = None,
     compression_model: Optional[CompressionModel] = None,
     read_chunk_bytes: int = 1024 * 1024,
+    obs=None,
 ) -> Generator:
     """Rebuild the keyspace; returns :class:`RecoveryResult`.
 
     ``source`` may be None (no snapshot yet: WAL-only recovery);
-    ``wal_sink`` may be None (snapshot-only restore).
+    ``wal_sink`` may be None (snapshot-only restore). ``obs`` is an
+    optional :class:`repro.obs.MetricsRegistry`: when attached, the two
+    phases become ``snapshot_load`` and ``recovery_replay`` spans on
+    the ``recovery`` track, with per-chunk progress in the event log.
     """
     if read_chunk_bytes < 1:
         raise ValueError("read_chunk_bytes must be >= 1")
@@ -65,35 +70,52 @@ def recover_store(
     result = RecoveryResult()
 
     if source is not None and source.size > 0:
-        blob = bytearray()
-        offset = 0
-        total = source.size
-        while offset < total:
-            n = min(read_chunk_bytes, total - offset)
-            piece = yield from source.read(offset, n, account)
-            blob.extend(piece)
-            offset += n
-        entries = RdbReader(comp).read_all(bytes(blob))
-        raw_bytes = sum(len(k) + len(v) for k, v in entries)
-        yield from account.charge(
-            "decompress", model.decompress_time(raw_bytes, max(1, len(entries) // 64))
-        )
-        yield from account.charge("rebuild", len(entries) * REBUILD_PER_ENTRY)
-        for k, v in entries:
-            result.data[k] = v
-        result.snapshot_entries = len(entries)
-        result.snapshot_bytes = total
+        with maybe_span(obs, "snapshot_load", track="recovery"):
+            blob = bytearray()
+            offset = 0
+            total = source.size
+            while offset < total:
+                n = min(read_chunk_bytes, total - offset)
+                piece = yield from source.read(offset, n, account)
+                blob.extend(piece)
+                offset += n
+                if obs is not None:
+                    obs.event("recovery_progress", phase="snapshot",
+                              read=offset, total=total)
+            entries = RdbReader(comp).read_all(bytes(blob))
+            raw_bytes = sum(len(k) + len(v) for k, v in entries)
+            yield from account.charge(
+                "decompress",
+                model.decompress_time(raw_bytes, max(1, len(entries) // 64)),
+            )
+            yield from account.charge(
+                "rebuild", len(entries) * REBUILD_PER_ENTRY
+            )
+            for k, v in entries:
+                result.data[k] = v
+            result.snapshot_entries = len(entries)
+            result.snapshot_bytes = total
+        if obs is not None:
+            obs.counter("recovery_snapshot_bytes_total").inc(total)
+            obs.counter("recovery_snapshot_entries_total").inc(len(entries))
 
     if wal_sink is not None:
-        raw = yield from wal_sink.read_all(account)
-        records = list(AofCodec.decode_stream(raw))
-        yield from account.charge("rebuild", len(records) * REBUILD_PER_ENTRY)
-        for rec in records:
-            if rec.op == OP_SET:
-                result.data[rec.key] = rec.value
-            elif rec.op == OP_DEL:
-                result.data.pop(rec.key, None)
-        result.wal_records_applied = len(records)
+        with maybe_span(obs, "recovery_replay", track="recovery"):
+            raw = yield from wal_sink.read_all(account)
+            records = list(AofCodec.decode_stream(raw))
+            yield from account.charge(
+                "rebuild", len(records) * REBUILD_PER_ENTRY
+            )
+            for rec in records:
+                if rec.op == OP_SET:
+                    result.data[rec.key] = rec.value
+                elif rec.op == OP_DEL:
+                    result.data.pop(rec.key, None)
+            result.wal_records_applied = len(records)
+        if obs is not None:
+            obs.counter("recovery_wal_records_total").inc(len(records))
+            obs.event("recovery_progress", phase="replay",
+                      records=len(records))
 
     result.duration = env.now - t0
     return result

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
 
 from repro.kernel.accounting import CpuAccount
+from repro.obs.spans import maybe_span
 from repro.persist.compress import CompressionModel, Compressor
 from repro.persist.encoding import RdbWriter
 from repro.persist.interfaces import SnapshotSink
@@ -104,6 +105,7 @@ class SnapshotWriterProcess:
         chunk_entries: int = 128,
         account: Optional[CpuAccount] = None,
         pipeline_depth: int = 8,
+        obs=None,
     ):
         if chunk_entries < 1:
             raise ValueError("chunk_entries must be >= 1")
@@ -120,6 +122,7 @@ class SnapshotWriterProcess:
         )
         self.chunk_entries = chunk_entries
         self.account = account or CpuAccount(env, "snapshot-child")
+        self.obs = obs
         self.stats = SnapshotStats(kind=kind, started_at=env.now)
 
     def run(self) -> Generator:
@@ -132,25 +135,27 @@ class SnapshotWriterProcess:
         acct = self.account
         writer = RdbWriter(self.compressor)
         try:
-            yield from self.sink.write(writer.header(), acct)
-            for start in range(0, len(self.items), self.chunk_entries):
-                batch = self.items[start : start + self.chunk_entries]
-                raw_len = sum(len(k) + len(v) for k, v in batch)
-                # in-memory: iterate + serialize, then compress
-                yield from acct.charge(
-                    "serialize",
-                    self.cpu_model.serialize_time(raw_len, len(batch)),
-                )
-                encoded = writer.chunk(batch)
-                yield from acct.charge(
-                    "compress",
-                    self.compression_model.compress_time(raw_len, 1),
-                )
-                yield from self.sink.write(encoded, acct)
-                self.stats.entries += len(batch)
-                self.stats.raw_bytes += raw_len
-            yield from self.sink.write(writer.footer(), acct)
-            yield from self.sink.finalize(acct)
+            with maybe_span(self.obs, "snapshot_write", track="snapshot",
+                            kind=self.kind.value):
+                yield from self.sink.write(writer.header(), acct)
+                for start in range(0, len(self.items), self.chunk_entries):
+                    batch = self.items[start : start + self.chunk_entries]
+                    raw_len = sum(len(k) + len(v) for k, v in batch)
+                    # in-memory: iterate + serialize, then compress
+                    yield from acct.charge(
+                        "serialize",
+                        self.cpu_model.serialize_time(raw_len, len(batch)),
+                    )
+                    encoded = writer.chunk(batch)
+                    yield from acct.charge(
+                        "compress",
+                        self.compression_model.compress_time(raw_len, 1),
+                    )
+                    yield from self.sink.write(encoded, acct)
+                    self.stats.entries += len(batch)
+                    self.stats.raw_bytes += raw_len
+                yield from self.sink.write(writer.footer(), acct)
+                yield from self.sink.finalize(acct)
         except Exception:
             self.sink.abort()
             self.stats.finished_at = self.env.now

@@ -30,6 +30,7 @@ import enum
 from typing import Generator, Optional
 
 from repro.kernel.accounting import CpuAccount
+from repro.obs.spans import maybe_span
 from repro.persist.encoding import AofCodec, AofRecord
 from repro.persist.interfaces import AppendSink
 from repro.sim import Environment, Event, Resource
@@ -77,8 +78,28 @@ class WalManager:
         self._capacity_waiters: list[Event] = []
         self._closing = False
         self.counters = Counter()
+        self.obs = None
         if policy is LoggingPolicy.PERIODICAL:
             env.process(self._flusher(), name="wal-flusher")
+
+    def attach_obs(self, registry) -> None:
+        """Register instruments: flush sizes, buffer level, commits.
+
+        Spans: every ``wal_flush``/``wal_fsync`` on track ``wal`` runs
+        under the sink lock, so they never overlap; the everysec fsync
+        that deliberately runs outside the lock gets its own
+        ``wal-sync`` track.
+        """
+        self.obs = registry
+        self._obs_flush_bytes = registry.histogram(
+            "wal_flush_bytes", policy=self.policy.value
+        )
+        self._obs_buffered = registry.gauge("wal_buffered_bytes")
+        self._obs_buffered.set(0.0)
+        self._obs_group_commits = registry.counter("wal_group_commits_total")
+        self._obs_backpressure = registry.counter(
+            "wal_backpressure_waits_total"
+        )
 
     # ------------------------------------------------------------------ staging
     def stage(self, record: AofRecord) -> int:
@@ -89,6 +110,8 @@ class WalManager:
         self._logged_bytes += len(data)
         self._staged_seq += 1
         self.counters.add("records")
+        if self.obs is not None:
+            self._obs_buffered.set(float(self._buffer_bytes))
         if self._buffer_bytes >= self.buffer_limit:
             self._kick()
         return self._staged_seq
@@ -118,6 +141,8 @@ class WalManager:
             self._capacity_waiters.append(waiter)
             yield waiter
             self.counters.add("backpressure_waits")
+            if self.obs is not None:
+                self._obs_backpressure.inc()
 
     @property
     def size(self) -> int:
@@ -142,6 +167,8 @@ class WalManager:
             finally:
                 self._sink_lock.release(req)
             self.counters.add("group_commits")
+            if self.obs is not None:
+                self._obs_group_commits.inc()
 
     def flush_now(self) -> Generator:
         """Drain, then make everything appended so far durable.
@@ -159,7 +186,10 @@ class WalManager:
             yield from self._drain_locked(fsync=False)
         finally:
             self._sink_lock.release(req)
-        yield from self.sink.flush(self.account)
+        # outside the sink lock, so on its own span track (may overlap
+        # a concurrent locked drain)
+        with maybe_span(self.obs, "wal_fsync", track="wal-sync"):
+            yield from self.sink.flush(self.account)
         self._durable_seq = max(self._durable_seq, top)
         self.counters.add("sync_flushes")
 
@@ -221,15 +251,21 @@ class WalManager:
             data = b"".join(self._buffer)
             self._buffer.clear()
             self._buffer_bytes = 0
-            yield from self.sink.append(data, self.account)
+            with maybe_span(self.obs, "wal_flush", track="wal",
+                            policy=self.policy.value):
+                yield from self.sink.append(data, self.account)
             self.counters.add("drains")
             self.counters.add("drained_bytes", len(data))
+            if self.obs is not None:
+                self._obs_flush_bytes.observe(float(len(data)))
+                self._obs_buffered.set(float(self._buffer_bytes))
             if self._capacity_waiters and self._buffer_bytes < self.buffer_limit:
                 waiters, self._capacity_waiters = self._capacity_waiters, []
                 for w in waiters:
                     w.succeed()
         if fsync:
-            yield from self.sink.flush(self.account)
+            with maybe_span(self.obs, "wal_fsync", track="wal"):
+                yield from self.sink.flush(self.account)
             self._durable_seq = max(self._durable_seq, top)
             self.counters.add("sync_flushes")
 

@@ -213,7 +213,15 @@ class IntervalRate:
         hi = t[-1] if t1 is None else t1
         if hi <= lo:
             hi = lo + bin_width
-        edges = np.arange(lo, hi + bin_width, bin_width)
+        # Window semantics must match mean_rate's mask (lo <= t <= hi):
+        # events outside [lo, hi] are excluded up front, and the last
+        # bin edge is pinned at >= hi so an event exactly at hi cannot
+        # fall off the histogram to float rounding in the edge grid.
+        mask = (t >= lo) & (t <= hi)
+        t, w = t[mask], w[mask]
+        n_bins = max(1, int(np.ceil((hi - lo) / bin_width - 1e-9)))
+        edges = lo + np.arange(n_bins + 1, dtype=np.float64) * bin_width
+        edges[-1] = max(edges[-1], hi)
         counts, edges = np.histogram(t, bins=edges, weights=w)
         centers = (edges[:-1] + edges[1:]) / 2.0
         return centers, counts / bin_width

@@ -8,8 +8,9 @@ nothing at all when disabled, so instrumentation can stay in place.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 from repro.sim.engine import Environment
 
@@ -31,7 +32,12 @@ class TraceRecord:
 
 
 class Tracer:
-    """A per-environment trace buffer."""
+    """A per-environment trace buffer.
+
+    With a ``capacity`` the buffer is a ring: overflow evicts the
+    *oldest* record, so the tail of the run — where failures usually
+    are — is always retained. ``dropped`` counts evictions.
+    """
 
     def __init__(self, env: Environment, enabled: bool = True,
                  capacity: Optional[int] = None):
@@ -40,15 +46,17 @@ class Tracer:
         self.env = env
         self.enabled = enabled
         self.capacity = capacity
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
 
     def emit(self, component: str, event: str, detail: Any = None) -> None:
         if not self.enabled:
             return
-        if self.capacity is not None and len(self._records) >= self.capacity:
-            self.dropped += 1
-            return
+        if (
+            self.capacity is not None
+            and len(self._records) >= self.capacity
+        ):
+            self.dropped += 1  # the append below evicts the oldest
         self._records.append(
             TraceRecord(self.env.now, component, event, detail)
         )

@@ -15,7 +15,7 @@ Format (one op per line, binary-safe via hex):
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from repro.imdb import ClientOp
 

@@ -118,7 +118,7 @@ def test_slimio_crash_mid_snapshot_keeps_previous():
     system.env.run(until=system.server.start_snapshot(SnapshotKind.ON_DEMAND))
     # second snapshot: crash while the child is writing
     fill(system, 5, prefix=b"extra")
-    proc = system.server.start_snapshot(SnapshotKind.ON_DEMAND)
+    system.server.start_snapshot(SnapshotKind.ON_DEMAND)
 
     def crash_mid_flight():
         yield system.env.timeout(1e-4)  # somewhere inside the child's run

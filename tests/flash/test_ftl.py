@@ -150,7 +150,6 @@ def test_stream_separation_keeps_waf_at_one():
     pages_per_seg = ftl.geometry.pages_per_segment
     n_cold = 2 * pages_per_seg
     hot_lpns = [n_cold + (i % 4) for i in range(6 * pages_per_seg)]
-    cold_iter = iter(range(n_cold))
 
     def writer():
         hot_i = 0

@@ -67,14 +67,13 @@ def test_experiment_registry_complete():
 
 
 def test_always_log_ycsb_mix_roundtrips():
-    import dataclasses
 
     system = build_slimio(config=TEST_SCALE.system_config(
         gc_pressure=False, policy=LoggingPolicy.ALWAYS))
     w = ClosedLoopWorkload(clients=4, total_ops=400, key_count=100,
                            value_size=512, get_ratio=0.5,
                            preload_records=100)
-    rep = w.run(system)
+    w.run(system)
     system.crash()
     result = system.env.run(until=system.env.process(system.recover()))
     # every acked write is durable under Always-Log

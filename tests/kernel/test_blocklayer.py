@@ -4,7 +4,6 @@ import pytest
 
 from repro.kernel import BlockLayer, SCHED_SYNC_PRIORITY
 from repro.nvme import WriteCmd
-from repro.sim import Environment
 
 from tests.kernel.conftest import drive
 

@@ -72,3 +72,46 @@ def test_account_breakdown_snapshot():
     acct.note("a", 1)
     acct.note("b", 2)
     assert acct.breakdown() == {"a": 1, "b": 2}
+
+
+def test_charge_zero_dt_yields_no_timeout():
+    """A dt=0 charge must not yield — the caller would pay a
+    scheduler round-trip (and a heap event) for nothing."""
+    env = Environment()
+    acct = CpuAccount(env, "p")
+    gen = acct.charge("fs", 0.0)
+    assert list(gen) == []  # generator completes without yielding
+    assert acct.time_in("fs") == 0.0
+    assert env.now == 0.0
+    # and it still registers the component for breakdown purposes
+    assert "fs" in acct.breakdown()
+
+
+def test_charge_zero_between_real_charges_keeps_attribution():
+    env = Environment()
+    acct = CpuAccount(env, "p")
+
+    def proc():
+        yield from acct.charge("fs", 2e-6)
+        yield from acct.charge("fs", 0.0)
+        yield from acct.charge("fs", 3e-6)
+
+    env.run(until=env.process(proc()))
+    assert env.now == pytest.approx(5e-6)
+    assert acct.time_in("fs") == pytest.approx(5e-6)
+
+
+def test_note_vs_charge_attribution():
+    """note() attributes without consuming time; charge() does both —
+    and they accumulate into the same component ledger."""
+    env = Environment()
+    acct = CpuAccount(env, "p")
+
+    def proc():
+        yield from acct.charge("ssd_wait", 1e-6)
+
+    env.run(until=env.process(proc()))
+    acct.note("ssd_wait", 4e-6)
+    assert env.now == pytest.approx(1e-6)  # only the charge advanced time
+    assert acct.time_in("ssd_wait") == pytest.approx(5e-6)
+    assert acct.total_charged() == pytest.approx(5e-6)

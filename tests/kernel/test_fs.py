@@ -171,8 +171,8 @@ def test_journal_contention_between_two_processes(env, block, cache):
         for _ in range(50):
             yield from f.write(b"x" * 512, acct)
 
-    p1 = env.process(writer(f1, wal_acct))
-    p2 = env.process(writer(f2, snap_acct))
+    env.process(writer(f1, wal_acct))
+    env.process(writer(f2, snap_acct))
     env.run()
     total_lock_wait = wal_acct.time_in("fs_lock_wait") + snap_acct.time_in(
         "fs_lock_wait"
@@ -189,7 +189,7 @@ def test_f2fs_contends_less_than_ext4(env, device, costs):
         from repro.sim import Environment
 
         env2 = Environment()
-        from repro.flash import FlashGeometry, NandTiming
+        from repro.flash import FlashGeometry
         from repro.nvme import NvmeDevice
         from tests.kernel.conftest import FAST_NAND, SMALL_FTL
 

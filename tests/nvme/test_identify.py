@@ -1,6 +1,5 @@
 """Identify structure tests + engine capability validation."""
 
-import pytest
 
 from repro.flash import FlashGeometry, FtlConfig, NandTiming
 from repro.nvme import NvmeDevice

@@ -1,0 +1,130 @@
+"""Exporter tests: JSONL round-trip, Prometheus text, Chrome trace, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace,
+    jsonl_records,
+    load_jsonl,
+    prometheus_text,
+    summarize_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.sim import Environment
+
+
+@pytest.fixture
+def reg():
+    env = Environment()
+    reg = MetricsRegistry(env, name="demo")
+    reg.counter("ops_total", op="set").inc(10)
+    reg.gauge("depth").set(4)
+    h = reg.histogram("lat")
+    for v in (0.001, 0.002, 0.004):
+        h.observe(v)
+
+    def proc():
+        with reg.span("flush", track="wal", policy="periodical"):
+            yield env.timeout(0.25)
+        with reg.span("reclaim", track="gc"):
+            yield env.timeout(0.1)
+        reg.event("progress", done=1)
+
+    env.run(until=env.process(proc()))
+    return reg
+
+
+def test_jsonl_stream_shape(reg):
+    recs = list(jsonl_records(reg))
+    assert recs[0]["type"] == "meta"
+    assert recs[0]["run"] == "demo" and recs[0]["spans"] == 2
+    types = [r["type"] for r in recs]
+    assert types.count("span") == 2
+    assert types.count("event") == 1
+    assert types.count("counter") == 1
+    assert types.count("gauge") == 1
+    assert types.count("histogram") == 1
+    span = next(r for r in recs if r["type"] == "span")
+    assert span["name"] == "flush" and span["dur"] == 0.25
+    assert span["labels"] == {"policy": "periodical"}
+
+
+def test_jsonl_round_trip(reg, tmp_path):
+    path = tmp_path / "run.jsonl"
+    n = write_jsonl(reg, path)
+    loaded = load_jsonl(path)
+    assert len(loaded) == n
+    assert loaded == list(jsonl_records(reg))
+
+
+def test_prometheus_text(reg):
+    text = prometheus_text(reg)
+    assert '# TYPE ops_total counter' in text
+    assert 'ops_total{op="set"} 10.0' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 4.0" in text
+    assert "# TYPE lat summary" in text
+    assert "lat_count 3" in text
+    assert 'lat{quantile="0.50"}' in text
+
+
+def test_chrome_trace_structure(reg):
+    trace = chrome_trace(reg.spans, run_name="demo")
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert len(xs) == 2
+    # one tid per track, named via metadata events
+    names = {e["args"]["name"] for e in metas if e["name"] == "thread_name"}
+    assert names == {"wal", "gc"}
+    flush = next(e for e in xs if e["name"] == "flush")
+    assert flush["ts"] == 0.0 and flush["dur"] == 0.25 * 1e6  # microseconds
+    assert flush["args"] == {"policy": "periodical"}
+
+
+def test_chrome_trace_accepts_jsonl_dicts(reg, tmp_path):
+    path = tmp_path / "run.jsonl"
+    write_jsonl(reg, path)
+    spans = [r for r in load_jsonl(path) if r["type"] == "span"]
+    trace = chrome_trace(spans)
+    assert sum(e["ph"] == "X" for e in trace["traceEvents"]) == 2
+
+
+def test_write_chrome_trace(reg, tmp_path):
+    out = tmp_path / "t.json"
+    n = write_chrome_trace(reg, out)
+    assert n == 2
+    loaded = json.loads(out.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_summarize_records(reg, tmp_path):
+    path = tmp_path / "run.jsonl"
+    write_jsonl(reg, path)
+    text = summarize_records(load_jsonl(path))
+    assert "run: demo" in text
+    assert "flush" in text and "reclaim" in text
+    assert "ops_total" in text
+    assert "event log: 1 entries" in text
+
+
+def test_cli_summarize_and_trace(reg, tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    write_jsonl(reg, path)
+    assert obs_main(["summarize", str(path)]) == 0
+    assert "run: demo" in capsys.readouterr().out
+
+    out = tmp_path / "run.trace.json"
+    assert obs_main(["trace", str(path), "-o", str(out)]) == 0
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_cli_summarize_empty_is_error(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert obs_main(["summarize", str(path)]) == 1
+    assert "empty" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""MetricsRegistry and instrument tests."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_metric_name
+from repro.sim import Environment
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(Environment(), name="t")
+
+
+def test_counter_get_or_create_and_inc(reg):
+    c = reg.counter("ops_total", op="set")
+    assert reg.counter("ops_total", op="set") is c
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    # different labels -> different instrument
+    assert reg.counter("ops_total", op="get") is not c
+
+
+def test_counter_rejects_negative(reg):
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_kind_mismatch_raises(reg):
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_gauge_watermarks(reg):
+    g = reg.gauge("depth")
+    g.set(5)
+    g.set(1)
+    g.set(9)
+    assert g.value == 9
+    assert g.low_water == 1
+    assert g.high_water == 9
+    g.add(-2)
+    assert g.value == 7
+
+
+def test_callback_gauge(reg):
+    state = {"v": 1.5}
+    g = reg.gauge("live", fn=lambda: state["v"])
+    assert g.value == 1.5
+    state["v"] = 2.0
+    assert g.value == 2.0
+    with pytest.raises(ValueError):
+        g.set(3.0)
+
+
+def test_histogram_exact_stats(reg):
+    h = reg.histogram("lat")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 10.0
+    assert h.min == 1.0
+    assert h.max == 4.0
+    assert h.mean == 2.5
+    s = h.summary()
+    assert s["count"] == 4 and s["p50"] == 2.5
+
+
+def test_histogram_reservoir_bounded_and_deterministic():
+    def build():
+        r = MetricsRegistry(Environment())
+        h = r.histogram("x", reservoir=16)
+        for i in range(1000):
+            h.observe(float(i))
+        return h
+
+    a, b = build(), build()
+    assert len(a._reservoir) == 16
+    assert a._reservoir == b._reservoir  # deterministic per-instrument RNG
+    assert a.count == 1000 and a.max == 999.0  # exact stats unaffected
+
+
+def test_empty_histogram_summary(reg):
+    h = reg.histogram("empty")
+    assert h.summary() == {"count": 0, "sum": 0.0}
+    assert h.percentile(50) != h.percentile(50)  # NaN
+
+
+def test_render_metric_name():
+    assert render_metric_name("x", {}) == "x"
+    assert render_metric_name("x", {"b": 1, "a": "z"}) == 'x{a="z",b="1"}'
+
+
+def test_snapshot_keys_and_kinds(reg):
+    reg.counter("c", k="v").inc(2)
+    reg.gauge("g").set(7)
+    reg.histogram("h").observe(0.5)
+    snap = reg.snapshot()
+    assert snap['c{k="v"}'] == {"kind": "counter", "value": 2}
+    assert snap["g"]["kind"] == "gauge" and snap["g"]["value"] == 7
+    assert snap["h"]["count"] == 1
+
+
+def test_event_log(reg):
+    reg.event("progress", done=3, total=10)
+    assert reg.events == [{"t": 0.0, "name": "progress",
+                           "done": 3, "total": 10}]

@@ -1,0 +1,70 @@
+"""Span context-manager tests."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, MetricsRegistry, maybe_span
+from repro.sim import Environment
+
+
+def test_maybe_span_without_registry_is_shared_noop():
+    s = maybe_span(None, "anything", track="t", k="v")
+    assert s is NULL_SPAN
+    with s:
+        pass  # no-op, no state
+
+
+def test_span_records_sim_time():
+    env = Environment()
+    reg = MetricsRegistry(env)
+
+    def proc():
+        yield env.timeout(1.0)
+        with maybe_span(reg, "work", track="io", kind="x"):
+            yield env.timeout(2.5)
+
+    env.run(until=env.process(proc()))
+    (rec,) = reg.spans
+    assert rec.name == "work" and rec.track == "io"
+    assert rec.t0 == 1.0 and rec.t1 == 3.5
+    assert rec.duration == 2.5
+    assert rec.labels == {"kind": "x"}
+    assert rec.ok
+
+
+def test_span_emits_into_tracer():
+    env = Environment()
+    reg = MetricsRegistry(env)
+    with reg.span("flush", track="wal"):
+        pass
+    events = [r.event for r in reg.tracer.records("wal")]
+    assert events == ["flush:begin", "flush:end"]
+
+
+def test_span_exception_propagates_and_marks_not_ok():
+    reg = MetricsRegistry(Environment())
+    with pytest.raises(RuntimeError):
+        with reg.span("bad"):
+            raise RuntimeError("boom")
+    (rec,) = reg.spans
+    assert not rec.ok
+    assert [r.event for r in reg.tracer.records("main")] == \
+        ["bad:begin", "bad:error"]
+
+
+def test_spans_named_filter():
+    reg = MetricsRegistry(Environment())
+    for name in ("a", "b", "a"):
+        with reg.span(name):
+            pass
+    assert len(reg.spans_named("a")) == 2
+    assert len(reg.spans_named("b")) == 1
+
+
+def test_span_capacity_eviction():
+    reg = MetricsRegistry(Environment(), span_capacity=2)
+    for i in range(5):
+        with reg.span(f"s{i}"):
+            pass
+    assert len(reg.spans) == 2
+    assert reg.spans_dropped == 3
+    assert [s.name for s in reg.spans] == ["s3", "s4"]  # oldest evicted

@@ -1,0 +1,133 @@
+"""System-level wiring tests: attach, zero-cost contract, acceptance."""
+
+import pytest
+
+from repro import SnapshotKind, build_baseline, build_slimio
+from repro.workloads import RedisBenchWorkload
+
+
+def _workload():
+    return RedisBenchWorkload(
+        clients=4, total_ops=800, key_count=128, value_size=2048,
+        snapshot_at_fraction=0.5,
+    )
+
+
+def _drive(system):
+    rep = _workload().run(system)
+    proc = system.server.start_snapshot(SnapshotKind.ON_DEMAND)
+    system.env.run(until=proc)
+    rec = system.env.run(
+        until=system.env.process(system.recover(SnapshotKind.ON_DEMAND))
+    )
+    system.stop()
+    return rep, rec
+
+
+@pytest.mark.parametrize("builder", [build_baseline, build_slimio],
+                         ids=["baseline", "slimio"])
+def test_attach_obs_creates_and_returns_registry(builder):
+    system = builder()
+    reg = system.attach_obs()
+    assert system.obs is reg
+    assert reg.name == system.server.name
+
+
+@pytest.mark.parametrize("builder", [build_baseline, build_slimio],
+                         ids=["baseline", "slimio"])
+def test_full_run_populates_all_layers(builder):
+    system = builder()
+    reg = system.attach_obs()
+    _drive(system)
+
+    snap = reg.snapshot()
+    names = {inst.name for inst in reg.instruments()}
+    # every layer shows up
+    assert "server_commands_total" in names          # imdb/server
+    assert "wal_flush_bytes" in names                # persist/wal
+    assert "ftl_waf" in names                        # flash/ftl
+    assert "recovery_wal_records_total" in names     # persist/recovery
+    if builder is build_baseline:
+        assert "pagecache_dirty_bytes" in names      # kernel/pagecache
+        assert "fs_journal_commits_total" in names   # kernel/fs
+        assert "block_cmds_total" in names           # kernel/blocklayer
+    else:
+        assert "uring_submitted_total" in names      # kernel/iouring
+        assert "walpath_flush_pages_total" in names  # core/paths
+        assert "snapshot_path_pages_total" in names
+        assert "readahead_hits_total" in names       # core/readahead
+    assert snap  # renders without error
+
+    span_names = {s.name for s in reg.spans}
+    assert {"wal_flush", "snapshot", "snapshot_write", "snapshot_load",
+            "recovery_replay"} <= span_names
+
+
+@pytest.mark.parametrize("builder", [build_baseline, build_slimio],
+                         ids=["baseline", "slimio"])
+def test_waf_gauge_matches_ftl_stats(builder):
+    system = builder()
+    reg = system.attach_obs()
+    _drive(system)
+    assert reg.gauge("ftl_waf").value == system.device.ftl.stats.waf
+
+
+@pytest.mark.parametrize("builder", [build_baseline, build_slimio],
+                         ids=["baseline", "slimio"])
+def test_telemetry_is_zero_cost_and_invisible(builder):
+    """The acceptance contract: attaching a registry must not change
+    simulated time or any simulated outcome."""
+
+    def run(attach):
+        system = builder()
+        if attach:
+            system.attach_obs()
+        rep, rec = _drive(system)
+        return (system.env.now, system.device.ftl.stats.waf,
+                rec.snapshot_entries, rec.wal_records_applied,
+                rec.duration, rep.rps)
+
+    assert run(False) == run(True)
+
+
+@pytest.mark.parametrize("builder", [build_baseline, build_slimio],
+                         ids=["baseline", "slimio"])
+def test_serialized_tracks_do_not_overlap(builder):
+    system = builder()
+    reg = system.attach_obs()
+    _drive(system)
+    by_track = {}
+    for s in reg.spans:
+        by_track.setdefault((s.track, s.name), []).append(s)
+    for (track, name), spans in by_track.items():
+        spans.sort(key=lambda s: s.t0)
+        for a, b in zip(spans, spans[1:]):
+            assert a.t1 <= b.t0 + 1e-12, \
+                f"same-name spans overlap on {track}/{name}"
+
+
+def test_snapshot_write_nests_inside_snapshot():
+    system = build_slimio()
+    reg = system.attach_obs()
+    _drive(system)
+    outers = reg.spans_named("snapshot")
+    for inner in reg.spans_named("snapshot_write"):
+        assert any(o.t0 <= inner.t0 and inner.t1 <= o.t1 for o in outers)
+
+
+def test_shared_ring_ablation_attaches_once():
+    system = build_slimio(shared_ring=True)
+    system.attach_obs()
+    _drive(system)
+    rings = {i.labels.get("ring") for i in system.obs.instruments()
+             if i.name == "uring_submitted_total"}
+    assert rings == {"wal-path"}  # snapshot traffic shares the WAL ring
+
+
+def test_attach_explicit_registry():
+    from repro.obs import MetricsRegistry
+
+    system = build_slimio()
+    reg = MetricsRegistry(system.env, name="mine")
+    out = system.attach_obs(reg)
+    assert out is reg and system.obs is reg

@@ -49,7 +49,6 @@ def test_rdb_roundtrip_any_chunking(pairs, chunk, compressed):
 def test_rdb_single_byte_corruption_never_passes_silently(pairs, pos, xor):
     """Flip one byte anywhere: the reader must either raise or (if the
     flip is a no-op) return identical data — never wrong data."""
-    import pytest
 
     from repro.persist import CorruptRecord
 

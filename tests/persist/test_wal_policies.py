@@ -1,6 +1,5 @@
 """WAL manager policy semantics: ordering, group commit, backpressure."""
 
-import pytest
 
 from repro.flash import FlashGeometry, FtlConfig, NandTiming
 from repro.kernel import BlockLayer, CpuAccount, F2fs, KernelCosts, PageCache

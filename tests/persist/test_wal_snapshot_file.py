@@ -14,7 +14,6 @@ from repro.persist import (
     WalManager,
     recover_store,
 )
-from repro.persist.compress import Compressor
 from repro.persist.file_backends import (
     FileAppendSink,
     FileSnapshotSink,

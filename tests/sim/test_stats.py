@@ -135,3 +135,54 @@ def test_interval_rate_invalid_bin():
     r.record(0.0)
     with pytest.raises(ValueError):
         r.rate(0)
+
+
+def test_interval_rate_event_at_hi_counted():
+    """Regression: an event exactly at t1 must land in the last bin.
+
+    With bin_width=0.3 the float edge grid accumulates to
+    0.8999999999999999 < 0.9, which used to drop the event at hi even
+    though mean_rate's ``t <= hi`` mask counts it.
+    """
+    r = IntervalRate()
+    for t in (0.0, 0.3, 0.6, 0.9):
+        r.record(t)
+    centers, rates = r.rate(0.3, t0=0.0, t1=0.9)
+    total = float(np.sum(rates) * 0.3)
+    assert total == pytest.approx(4.0)
+    assert total == pytest.approx(r.mean_rate(0.0, 0.9) * 0.9)
+
+
+def test_interval_rate_window_matches_mean_rate():
+    """rate() and mean_rate() must agree on the same [t0, t1] window.
+
+    Events beyond t1 used to leak into the trailing bin whenever the
+    edge grid overshot hi (e.g. bin_width=0.4 over [0, 1]).
+    """
+    r = IntervalRate()
+    for t in (0.0, 0.5, 1.0, 1.15):
+        r.record(t)
+    centers, rates = r.rate(0.4, t0=0.0, t1=1.0)
+    total = float(np.sum(rates) * 0.4)
+    assert total == pytest.approx(3.0)  # the 1.15 event is outside
+    assert total == pytest.approx(r.mean_rate(0.0, 1.0) * 1.0)
+    assert centers[-1] <= 1.0 + 0.4  # no bins beyond the window
+
+
+def test_interval_rate_events_before_t0_excluded():
+    r = IntervalRate()
+    for t in (0.0, 1.0, 2.0):
+        r.record(t)
+    _, rates = r.rate(0.5, t0=0.5, t1=2.0)
+    assert float(np.sum(rates) * 0.5) == pytest.approx(2.0)
+    assert r.mean_rate(0.5, 2.0) * 1.5 == pytest.approx(2.0)
+
+
+def test_timeweighted_mean_at_zero_span_returns_current_value():
+    tw = TimeWeighted(t0=5.0, value=3.0)
+    # no time has passed: the mean of a zero-length window is the
+    # current value, not a division by zero
+    assert tw.mean(t_end=5.0) == 3.0
+    assert tw.mean() == 3.0
+    tw.update(5.0, 7.0)  # same-instant update, still zero span
+    assert tw.mean(t_end=5.0) == 7.0

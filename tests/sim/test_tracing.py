@@ -29,13 +29,44 @@ def test_disabled_tracer_is_free():
     assert len(tr) == 0
 
 
-def test_capacity_drops_and_counts():
+def test_capacity_evicts_oldest_and_counts():
     env = Environment()
     tr = Tracer(env, capacity=2)
     for i in range(5):
         tr.emit("c", f"e{i}")
     assert len(tr) == 2
     assert tr.dropped == 3
+    # ring semantics: the *end* of the run survives, not the start
+    assert [r.event for r in tr.records()] == ["e3", "e4"]
+
+
+def test_unbounded_mode_keeps_everything():
+    env = Environment()
+    tr = Tracer(env)
+    for i in range(100):
+        tr.emit("c", f"e{i}")
+    assert len(tr) == 100
+    assert tr.dropped == 0
+    assert tr.records()[0].event == "e0"
+    assert tr.records()[-1].event == "e99"
+
+
+def test_ring_preserves_chronology_after_wrap():
+    env = Environment()
+    tr = Tracer(env, capacity=3)
+
+    def proc():
+        for i in range(6):
+            tr.emit("c", f"e{i}")
+            yield env.timeout(1.0)
+
+    env.run(until=env.process(proc()))
+    recs = tr.records()
+    assert [r.event for r in recs] == ["e3", "e4", "e5"]
+    assert [r.t for r in recs] == [3.0, 4.0, 5.0]
+    assert tr.dropped == 3
+    # filters still apply over the surviving window
+    assert tr.records(since=4.5)[0].event == "e5"
 
 
 def test_render_and_clear():
