@@ -74,7 +74,7 @@ def counter_sum(registry, name):
 
 
 def main():
-    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "telemetry_out")
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "out/telemetry_out")
     outdir.mkdir(parents=True, exist_ok=True)
     scale = TEST_SCALE
     print("Telemetry tour: identical workload, both I/O paths, "

@@ -18,6 +18,7 @@ from repro.bench.sweep import SweepResult, sweep, write_csv
 from repro.bench.scales import Scale, TEST_SCALE, BENCH_SCALE
 from repro.bench.experiments import (
     EXPERIMENTS,
+    cluster,
     figure2a,
     figure2b,
     figure4,
@@ -50,4 +51,5 @@ __all__ = [
     "figure2b",
     "figure4",
     "figure5",
+    "cluster",
 ]

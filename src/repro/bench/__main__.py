@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.scales import get_scale
@@ -26,6 +27,10 @@ def main(argv=None) -> int:
                         help="experiment id (e.g. table3), 'all', or 'list'")
     parser.add_argument("--scale", default="bench",
                         help="scale preset: test | bench (default)")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file "
+                             "(default: out/bench_<scale>_results.txt; "
+                             "'-' disables the file)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -35,7 +40,11 @@ def main(argv=None) -> int:
 
     scale = get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    out_path = args.out
+    if out_path is None:
+        out_path = f"out/bench_{scale.name}_results.txt"
     exit_code = 0
+    chunks = []
     for name in names:
         fn = EXPERIMENTS.get(name)
         if fn is None:
@@ -44,11 +53,17 @@ def main(argv=None) -> int:
         t0 = time.time()
         result = fn(scale)
         elapsed = time.time() - t0
-        print(result.format())
-        print(f"\n(regenerated in {elapsed:.1f}s wall at scale "
-              f"'{scale.name}')\n")
+        text = (f"{result.format()}\n\n(regenerated in {elapsed:.1f}s "
+                f"wall at scale '{scale.name}')\n")
+        print(text)
+        chunks.append(text)
         if not result.shapes_hold:
             exit_code = 1
+    if out_path != "-":
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(chunks))
+        print(f"(report written to {path})", file=sys.stderr)
     return exit_code
 
 

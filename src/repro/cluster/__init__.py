@@ -1,0 +1,54 @@
+"""Hash-slot sharding over one FDP device (Redis-Cluster style).
+
+``repro.cluster`` deploys N shard servers on a single simulated clock
+and a single NVMe namespace:
+
+* :mod:`repro.cluster.slots` — the CRC16-mod-16384 key space and the
+  slot → shard map, including hash tags (``{user}.follows`` routes by
+  ``user``) exactly as Redis Cluster does;
+* :mod:`repro.cluster.pids` — carving the device's limited Placement
+  ID space across shards: dedicated PIDs while they last, then a
+  configurable sharing policy (collapse snapshot classes, or share
+  WAL PIDs) layered on :class:`repro.core.placement.PlacementPolicy`;
+* :mod:`repro.cluster.engine` — builders that stand up the shards on
+  per-shard LBA partitions of one shared device/FTL, so cross-shard
+  GC interference and per-shard WAF are measurable;
+* :mod:`repro.cluster.router` — the client-facing façade workloads
+  call instead of a single server;
+* :mod:`repro.cluster.reshard` — live slot-range migration using
+  :func:`repro.core.replicate.full_sync` as the transfer engine.
+
+See ``docs/CLUSTER.md`` for the protocol walk-throughs.
+"""
+
+from repro.cluster.engine import (
+    ClusterConfig,
+    ShardHandle,
+    SlimIOCluster,
+    build_cluster,
+)
+from repro.cluster.pids import PidAllocator, SharingMode
+from repro.cluster.reshard import MigrationReport, migrate_slots
+from repro.cluster.router import ClusterRouter
+from repro.cluster.slots import (
+    NUM_SLOTS,
+    HashSlotMap,
+    crc16,
+    key_hash_slot,
+)
+
+__all__ = [
+    "NUM_SLOTS",
+    "crc16",
+    "key_hash_slot",
+    "HashSlotMap",
+    "PidAllocator",
+    "SharingMode",
+    "ClusterConfig",
+    "ShardHandle",
+    "SlimIOCluster",
+    "build_cluster",
+    "ClusterRouter",
+    "migrate_slots",
+    "MigrationReport",
+]

@@ -1,0 +1,193 @@
+"""Cluster builders: N shards on one device, one simulated clock.
+
+One :class:`~repro.nvme.NvmeDevice` is split into per-shard LBA
+partitions (:func:`repro.nvme.partition_evenly`); every shard gets a
+full SlimIO (or baseline) stack over its partition. Because the FTL —
+streams, Reclaim Units, GC — is shared, cross-shard interference is
+physical, not assumed: two shards whose PIDs collide really do mix
+lifetimes in one RU, and per-shard WAF read off the per-stream FTL
+counters shows it.
+
+PID budgeting is delegated to :class:`repro.cluster.pids.PidAllocator`
+(dedicated 4-PID policies while they last, then the configured sharing
+mode). Each shard's policy is validated against the shared device at
+build time, so an oversubscription bug fails loudly instead of
+silently landing writes in stream 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.cluster.pids import PidAllocator, SharingMode
+from repro.cluster.router import ClusterRouter
+from repro.cluster.slots import HashSlotMap
+from repro.core.engine import (
+    BaselineSystem,
+    SlimIOSystem,
+    SystemConfig,
+)
+from repro.core.placement import PlacementPolicy
+from repro.nvme import LbaPartition, NvmeDevice, partition_evenly
+from repro.sim import Environment
+
+__all__ = ["ClusterConfig", "ShardHandle", "SlimIOCluster", "build_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up a cluster on one device."""
+
+    num_shards: int = 4
+    design: str = "slimio"  # "slimio" | "baseline"
+    #: PID count of the shared device (the paper's device exposes 8)
+    num_pids: int = 8
+    #: fallback when dedicated PIDs run out; ``None`` = pick the
+    #: least-sharing mode that fits (see ``PidAllocator.auto_mode``)
+    sharing: Optional[SharingMode] = None
+    #: per-shard stack template; ``geometry`` sizes the *whole* shared
+    #: device, ``placement`` is overridden by the PID allocator
+    system: SystemConfig = field(default_factory=SystemConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.design not in ("slimio", "baseline"):
+            raise ValueError("design must be slimio or baseline")
+
+
+@dataclass
+class ShardHandle:
+    """One shard: its stack, its LBA partition, its PID policy."""
+
+    index: int
+    name: str
+    system: Union[SlimIOSystem, BaselineSystem]
+    partition: LbaPartition
+    #: None for baseline shards (conventional device, no PIDs)
+    policy: Optional[PlacementPolicy]
+
+    @property
+    def server(self):
+        return self.system.server
+
+    @property
+    def env(self):
+        return self.system.env
+
+
+class SlimIOCluster:
+    """N shard stacks over one shared device, plus the slot map.
+
+    Despite the name this also hosts the baseline design (stock Redis
+    shards over the kernel path on the same shared conventional
+    device) so scaling comparisons hold everything but the I/O path
+    constant.
+    """
+
+    #: optional telemetry registry (``None`` = instrumentation disabled)
+    obs = None
+
+    def __init__(self, env: Environment, config: ClusterConfig):
+        self.env = env
+        self.config = config
+        slimio = config.design == "slimio"
+        cfg = config.system
+        self.device = NvmeDevice(
+            env, cfg.geometry, cfg.nand, cfg.ftl,
+            fdp=slimio and cfg.fdp,
+            num_pids=config.num_pids,
+        )
+        partitions = partition_evenly(self.device, config.num_shards)
+        self.allocator: Optional[PidAllocator] = None
+        policies: list[Optional[PlacementPolicy]] = [None] * config.num_shards
+        if slimio:
+            mode = config.sharing or PidAllocator.auto_mode(
+                config.num_pids, config.num_shards
+            )
+            self.allocator = PidAllocator(config.num_pids, mode=mode)
+            policies = list(self.allocator.allocate(config.num_shards))
+        self.shards: list[ShardHandle] = []
+        for i, part in enumerate(partitions):
+            name = f"shard{i}"
+            if slimio:
+                shard_cfg = replace(cfg, placement=policies[i])
+                system = SlimIOSystem(env, shard_cfg, device=part, name=name)
+            else:
+                system = BaselineSystem(env, cfg, device=part, name=name)
+            self.shards.append(
+                ShardHandle(i, name, system, part, policies[i])
+            )
+        self.slot_map = HashSlotMap(config.num_shards)
+        self.router = ClusterRouter(self)
+
+    # ------------------------------------------------------------ shards
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __getitem__(self, index: int) -> ShardHandle:
+        return self.shards[index]
+
+    # ------------------------------------------------------------ accounting
+    def shard_waf(self, index: int) -> float:
+        """WAF attributed to one shard's Placement IDs.
+
+        SlimIO shards are attributed by stream (shared streams count
+        in full for every sharer — the honest tenant's-eye view);
+        baseline shards all write stream 0, so the device-global WAF
+        is the best available attribution.
+        """
+        policy = self.shards[index].policy
+        if policy is None:
+            return self.device.waf
+        return self.device.ftl.waf_for_streams(policy.pids)
+
+    @property
+    def waf(self) -> float:
+        return self.device.waf
+
+    def pid_report(self) -> dict:
+        """The PID allocation summary (empty for baseline clusters)."""
+        if self.allocator is None:
+            return {}
+        return self.allocator.describe(self.config.num_shards)
+
+    # ------------------------------------------------------------ telemetry
+    def attach_obs(self, registry=None):
+        """One registry, one view per shard: every shard-side
+        instrument and span carries a ``shard=`` label; the shared FTL
+        is wired unlabeled (its GC belongs to the device, not to any
+        single tenant). Returns the base registry."""
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.wiring import attach_registry
+
+        if registry is None:
+            registry = MetricsRegistry(
+                self.env, name=f"cluster-{self.config.design}"
+            )
+        self.obs = registry
+        for shard in self.shards:
+            attach_registry(
+                shard.system, registry.labeled(shard=shard.name),
+                include_device=False,
+            )
+        self.device.ftl.attach_obs(registry)
+        return registry
+
+    def stop(self) -> None:
+        for shard in self.shards:
+            shard.system.stop()
+
+
+def build_cluster(env: Optional[Environment] = None,
+                  config: Optional[ClusterConfig] = None,
+                  **overrides) -> SlimIOCluster:
+    """Stand up a cluster; ``overrides`` patch :class:`ClusterConfig`."""
+    cfg = config or ClusterConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return SlimIOCluster(env or Environment(), cfg)

@@ -1,0 +1,155 @@
+"""Carving a device's Placement-ID space across shards.
+
+The paper's device exposes 8 PIDs and a single SlimIO instance wants 4
+(metadata, WAL, WAL-Snapshot, On-Demand Snapshot). Multi-tenant
+deployments therefore hit a wall at 3+ shards: there are not enough
+PIDs for full per-shard lifetime separation. The allocator hands out
+**dedicated** 4-PID policies while they last and then falls back to a
+configured :class:`SharingMode`:
+
+* ``COLLAPSE`` — metadata shares PID 0 across shards (tiny,
+  rewrite-in-place traffic), each shard keeps a *dedicated* WAL PID
+  (the hottest, shortest-lived class — the one whose isolation the
+  paper shows matters most), and the two snapshot classes collapse
+  into one PID drawn round-robin from the leftover pool. Needs
+  ``num_pids >= num_shards + 2``.
+* ``SHARE_WAL`` — metadata and both snapshot classes each share one
+  cluster-wide PID (3 total) and the remaining PIDs are dealt to the
+  WAL class round-robin, so shards' WALs pair up. Scales to any shard
+  count with ``num_pids >= 4``; WAF degrades more because two shards'
+  WAL retirement cycles interleave inside one Reclaim Unit.
+* ``DEDICATED`` — refuse to share: raise when 4 PIDs per shard do not
+  fit. For experiments that must guarantee WAF 1.00.
+
+Either sharing mode keeps WAF *bounded*: lifetimes are still grouped
+per class, just across tenants, which is exactly the trade studied by
+Allison et al. for FDP cache sharing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.placement import PlacementPolicy
+
+__all__ = ["SharingMode", "PidAllocator", "PIDS_PER_SHARD"]
+
+#: full lifetime separation takes 4 PIDs per SlimIO instance
+PIDS_PER_SHARD = 4
+
+
+class SharingMode(Enum):
+    DEDICATED = "dedicated"
+    COLLAPSE = "collapse"
+    SHARE_WAL = "share-wal"
+
+
+class PidAllocator:
+    """Allocates per-shard :class:`PlacementPolicy` on one device."""
+
+    def __init__(self, num_pids: int = 8,
+                 mode: SharingMode = SharingMode.COLLAPSE):
+        if num_pids < PIDS_PER_SHARD:
+            raise ValueError(
+                f"device exposes {num_pids} PIDs; one SlimIO shard "
+                f"already needs {PIDS_PER_SHARD}"
+            )
+        self.num_pids = num_pids
+        self.mode = mode
+
+    # ------------------------------------------------------------ queries
+    def fits_dedicated(self, num_shards: int) -> bool:
+        return num_shards * PIDS_PER_SHARD <= self.num_pids
+
+    @staticmethod
+    def auto_mode(num_pids: int, num_shards: int) -> SharingMode:
+        """The least-sharing mode that can host ``num_shards``."""
+        if num_shards * PIDS_PER_SHARD <= num_pids:
+            return SharingMode.DEDICATED
+        if num_shards + 2 <= num_pids:
+            return SharingMode.COLLAPSE
+        return SharingMode.SHARE_WAL
+
+    # ------------------------------------------------------------ allocate
+    def allocate(self, num_shards: int) -> list[PlacementPolicy]:
+        """One policy per shard, dedicated when possible.
+
+        Dedicated allocation ignores the sharing mode — sharing is a
+        *fallback*, never a preference; with ``num_shards`` small
+        enough every shard gets its own 4 PIDs and WAF stays 1.00.
+        """
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.fits_dedicated(num_shards):
+            return [self._dedicated(i) for i in range(num_shards)]
+        if self.mode is SharingMode.DEDICATED:
+            raise ValueError(
+                f"{num_shards} shards x {PIDS_PER_SHARD} PIDs do not fit "
+                f"in {self.num_pids} PIDs and mode is DEDICATED — use "
+                f"COLLAPSE or SHARE_WAL, or shrink the cluster"
+            )
+        if self.mode is SharingMode.COLLAPSE:
+            return self._collapse(num_shards)
+        return self._share_wal(num_shards)
+
+    def _dedicated(self, shard: int) -> PlacementPolicy:
+        base = shard * PIDS_PER_SHARD
+        return PlacementPolicy(
+            metadata_pid=base,
+            wal_pid=base + 1,
+            wal_snapshot_pid=base + 2,
+            ondemand_snapshot_pid=base + 3,
+        )
+
+    def _collapse(self, num_shards: int) -> list[PlacementPolicy]:
+        # PID 0 = shared metadata; 1..num_shards = dedicated WALs;
+        # the rest = collapsed snapshot PIDs, dealt round-robin.
+        pool = list(range(num_shards + 1, self.num_pids))
+        if not pool:
+            raise ValueError(
+                f"COLLAPSE needs num_pids >= num_shards + 2 "
+                f"({self.num_pids} PIDs, {num_shards} shards) — "
+                f"use SHARE_WAL for clusters this wide"
+            )
+        policies = []
+        for shard in range(num_shards):
+            snap = pool[shard % len(pool)]
+            policies.append(PlacementPolicy(
+                metadata_pid=0,
+                wal_pid=1 + shard,
+                wal_snapshot_pid=snap,
+                ondemand_snapshot_pid=snap,
+                collapse_snapshots=True,
+            ))
+        return policies
+
+    def _share_wal(self, num_shards: int) -> list[PlacementPolicy]:
+        # PIDs 0/1/2 = cluster-wide metadata / WAL-Snapshot /
+        # On-Demand; 3.. = WAL PIDs, dealt round-robin.
+        wal_pool = list(range(3, self.num_pids))
+        return [
+            PlacementPolicy(
+                metadata_pid=0,
+                wal_pid=wal_pool[shard % len(wal_pool)],
+                wal_snapshot_pid=1,
+                ondemand_snapshot_pid=2,
+            )
+            for shard in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------ reporting
+    def describe(self, num_shards: int) -> dict:
+        """Allocation summary for reports and logs."""
+        policies = self.allocate(num_shards)
+        dedicated = self.fits_dedicated(num_shards)
+        seen: dict[int, int] = {}
+        for policy in policies:
+            for pid in policy.pids:
+                seen[pid] = seen.get(pid, 0) + 1
+        return {
+            "num_pids": self.num_pids,
+            "num_shards": num_shards,
+            "mode": "dedicated" if dedicated else self.mode.value,
+            "shared_pids": sorted(p for p, n in seen.items() if n > 1),
+            "pids_per_shard": [list(p.pids) for p in policies],
+        }

@@ -1,0 +1,55 @@
+"""The client-facing façade: route each op to its slot's shard.
+
+Workload clients call :meth:`ClusterRouter.execute` exactly as they
+would a single :class:`~repro.imdb.Server`; the router hashes the key
+(CRC16 mod 16384, hash tags honoured), looks up the owning shard in
+the live :class:`~repro.cluster.slots.HashSlotMap`, and forwards.
+
+During a live migration (:mod:`repro.cluster.reshard`) the map still
+points migrating slots at the source shard; writes land there and the
+migration's tap forwards them to the destination, so the router itself
+never needs migration state — cutover is a single ``move`` on the map
+and the very next op routes to the new owner.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.cluster.slots import key_hash_slot
+from repro.imdb import ClientOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.engine import ShardHandle, SlimIOCluster
+
+__all__ = ["ClusterRouter"]
+
+
+class ClusterRouter:
+    """Slot-hash routing over a cluster's shards."""
+
+    def __init__(self, cluster: "SlimIOCluster"):
+        self.cluster = cluster
+        #: ops routed per shard index (routing-table hit counts)
+        self.routed = [0] * len(cluster.shards)
+
+    @property
+    def slot_map(self):
+        return self.cluster.slot_map
+
+    def shard_for_key(self, key: bytes | str) -> "ShardHandle":
+        return self.cluster.shards[self.slot_map.shard_for_key(key)]
+
+    def shard_for_slot(self, slot: int) -> "ShardHandle":
+        return self.cluster.shards[self.slot_map.shard_for_slot(slot)]
+
+    def execute(self, op: ClientOp) -> Generator:
+        """Serve one request on the owning shard (a generator, like
+        ``Server.execute``; clients ``yield from`` it)."""
+        index = self.slot_map.shard_for_key(op.key)
+        self.routed[index] += 1
+        result = yield from self.cluster.shards[index].server.execute(op)
+        return result
+
+    def slot_of(self, key: bytes | str) -> int:
+        return key_hash_slot(key)

@@ -1,0 +1,130 @@
+"""The hash-slot key space: CRC16 mod 16384, Redis Cluster style.
+
+Every key maps to one of 16384 slots via CRC16-CCITT (XModem variant,
+polynomial 0x1021 — the exact function Redis uses, so the canonical
+test vector holds: ``crc16(b"123456789") == 0x31C3``). Hash tags work
+too: if the key contains ``{...}`` with a non-empty body, only the
+body is hashed, letting applications pin related keys (``{user}.cart``
+and ``{user}.profile``) to one slot and therefore one shard.
+
+:class:`HashSlotMap` assigns each slot to a shard. Assignment is a
+plain array — resharding is ``move(lo, hi, dst)`` on the map plus the
+data migration protocol in :mod:`repro.cluster.reshard`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUM_SLOTS", "crc16", "key_hash_slot", "HashSlotMap"]
+
+#: Redis Cluster's slot count; 14 bits of the CRC.
+NUM_SLOTS = 16384
+
+
+def _build_crc16_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC16-CCITT (XModem): poly 0x1021, init 0, no reflection."""
+    crc = 0
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def key_hash_slot(key: bytes | str) -> int:
+    """The slot a key belongs to, honouring ``{hashtag}`` routing."""
+    if isinstance(key, str):
+        key = key.encode()
+    start = key.find(b"{")
+    if start >= 0:
+        end = key.find(b"}", start + 1)
+        if end > start + 1:  # non-empty tag, Redis rule
+            key = key[start + 1 : end]
+    return crc16(key) % NUM_SLOTS
+
+
+class HashSlotMap:
+    """Slot → shard assignment for ``num_shards`` shards.
+
+    Starts with contiguous even ranges (shard i owns slots
+    ``[i*16384//N, (i+1)*16384//N)``), the layout every fresh Redis
+    Cluster uses; :meth:`move` reassigns a contiguous range, which is
+    the map half of resharding.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if num_shards > NUM_SLOTS:
+            raise ValueError(f"more shards than slots ({NUM_SLOTS})")
+        self.num_shards = num_shards
+        self._owner = [0] * NUM_SLOTS
+        for shard in range(num_shards):
+            lo, hi = self.shard_range(shard)
+            for slot in range(lo, hi):
+                self._owner[slot] = shard
+
+    def shard_range(self, shard: int) -> tuple[int, int]:
+        """The initial contiguous range ``[lo, hi)`` of a shard."""
+        self._check_shard(shard)
+        lo = shard * NUM_SLOTS // self.num_shards
+        hi = (shard + 1) * NUM_SLOTS // self.num_shards
+        return lo, hi
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range 0..{self.num_shards - 1}"
+            )
+
+    # ------------------------------------------------------------ lookup
+    def shard_for_slot(self, slot: int) -> int:
+        if not 0 <= slot < NUM_SLOTS:
+            raise ValueError(f"slot {slot} out of range 0..{NUM_SLOTS - 1}")
+        return self._owner[slot]
+
+    def shard_for_key(self, key: bytes | str) -> int:
+        return self._owner[key_hash_slot(key)]
+
+    def slots_of(self, shard: int) -> list[int]:
+        """All slots a shard currently owns (possibly non-contiguous)."""
+        self._check_shard(shard)
+        return [s for s, owner in enumerate(self._owner) if owner == shard]
+
+    def slot_counts(self) -> list[int]:
+        """Owned-slot count per shard (sums to 16384)."""
+        counts = [0] * self.num_shards
+        for owner in self._owner:
+            counts[owner] += 1
+        return counts
+
+    # ------------------------------------------------------------ reshard
+    def move(self, lo: int, hi: int, dst: int) -> int:
+        """Reassign slots ``[lo, hi)`` to ``dst``; returns moved count.
+
+        Only flips the map — callers must migrate the data first (see
+        :func:`repro.cluster.reshard.migrate_slots`, which calls this
+        at cutover).
+        """
+        self._check_shard(dst)
+        if not (0 <= lo < hi <= NUM_SLOTS):
+            raise ValueError(f"bad slot range [{lo}, {hi})")
+        moved = 0
+        for slot in range(lo, hi):
+            if self._owner[slot] != dst:
+                self._owner[slot] = dst
+                moved += 1
+        return moved

@@ -27,7 +27,7 @@ from typing import Generator, Optional
 from repro.core.lba import LbaSpaceManager, SlotRole
 from repro.core.metadata import MetadataStore
 from repro.core.paths import SlimIOSnapshotSource, SnapshotPath, WalPath
-from repro.core.placement import PlacementPolicy
+from repro.core.placement import PlacementPolicy, validate_placement
 from repro.flash import FlashGeometry, FtlConfig, NandTiming
 from repro.imdb import KVStore, Server, ServerConfig
 from repro.kernel import (
@@ -91,8 +91,15 @@ class SystemConfig:
     placement: PlacementPolicy = field(default_factory=PlacementPolicy)
     snapshot_fraction: float = 0.45
     recovery_readahead_pages: int = 64
+    #: PID (stream) count of the built FDP device; ``None`` = enough
+    #: for the placement policy (min 8, the paper's device). Setting
+    #: it explicitly makes the build fail fast if the policy does not
+    #: fit — see :func:`repro.core.placement.validate_placement`.
+    num_pids: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.num_pids is not None and self.num_pids < 1:
+            raise ValueError("num_pids must be >= 1")
         if self.fs not in ("ext4", "f2fs"):
             raise ValueError("fs must be ext4 or f2fs")
         if self.scheduler not in ("none", "sync-priority", "mq-deadline"):
@@ -134,13 +141,22 @@ class _SystemBase:
 
 
 class BaselineSystem(_SystemBase):
-    """Stock Redis over the traditional kernel path."""
+    """Stock Redis over the traditional kernel path.
 
-    def __init__(self, env: Environment, config: SystemConfig):
+    ``device`` lets multi-tenant deployments (``repro.cluster``) hand
+    in a pre-built device or :class:`~repro.nvme.LbaPartition`; when
+    None, a private conventional device is built from the config.
+    """
+
+    def __init__(self, env: Environment, config: SystemConfig,
+                 device=None, name: str = "baseline"):
         self.env = env
         self.config = config
-        self.device = NvmeDevice(env, config.geometry, config.nand, config.ftl,
-                                 fdp=False)
+        self.name = name
+        if device is None:
+            device = NvmeDevice(env, config.geometry, config.nand,
+                                config.ftl, fdp=False)
+        self.device = device
         self.block = BlockLayer(env, self.device, config.costs,
                                 scheduler=config.scheduler)
         self.cache = PageCache(env, self.block, config.costs,
@@ -149,7 +165,7 @@ class BaselineSystem(_SystemBase):
         fs_cls = Ext4 if config.fs == "ext4" else F2fs
         self.fs = fs_cls(env, self.block, self.cache, config.costs,
                          extent_pages=config.fs_extent_pages)
-        self.main_account = CpuAccount(env, "redis-main")
+        self.main_account = CpuAccount(env, f"{name}-main")
         compressor = Compressor(level=config.compression_level,
                                 model=config.compression)
         self.wal = WalManager(
@@ -160,7 +176,7 @@ class BaselineSystem(_SystemBase):
         self.server = Server(
             env, KVStore(page_size=self.device.lba_size), self.wal,
             lambda kind: FileSnapshotSink(self.fs, f"{kind.value}.rdb"),
-            config.server, compressor, config.compression, name="baseline",
+            config.server, compressor, config.compression, name=name,
         )
 
     def snapshot_source(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
@@ -189,21 +205,38 @@ class BaselineSystem(_SystemBase):
 
 
 class SlimIOSystem(_SystemBase):
-    """SlimIO: passthru paths over an FDP (or conventional) device."""
+    """SlimIO: passthru paths over an FDP (or conventional) device.
 
-    def __init__(self, env: Environment, config: SystemConfig):
+    ``device`` lets multi-tenant deployments (``repro.cluster``) hand
+    in a pre-built device or :class:`~repro.nvme.LbaPartition` whose
+    PID space is shared with other tenants; when None, a private
+    device is built from the config. Either way the placement policy
+    is validated against the device's PID count at build time — an
+    over-range PID would otherwise fall back to stream 0 silently.
+    """
+
+    def __init__(self, env: Environment, config: SystemConfig,
+                 device=None, name: str = "slimio"):
         self.env = env
         self.config = config
-        self.device = NvmeDevice(
-            env, config.geometry, config.nand, config.ftl,
-            fdp=config.fdp,
-            num_pids=max(8, config.placement.max_pid + 1),
-        )
+        self.name = name
+        if device is None:
+            num_pids = config.num_pids
+            if num_pids is None:
+                num_pids = max(8, config.placement.max_pid + 1)
+            device = NvmeDevice(
+                env, config.geometry, config.nand, config.ftl,
+                fdp=config.fdp, num_pids=num_pids,
+            )
+        self.device = device
+        if self.device.fdp:
+            validate_placement(config.placement, self.device.num_pids,
+                               context=f"the device backing {name!r}")
         self.space = LbaSpaceManager(
             self.device.num_lbas,
             snapshot_fraction=config.snapshot_fraction,
         )
-        self.main_account = CpuAccount(env, "slimio-main")
+        self.main_account = CpuAccount(env, f"{name}-main")
         # the WAL-Path ring lives in the main process (§4.1)
         self.wal_ring = PassthruQueuePair(
             env, self.device, config.costs, sqpoll=config.sqpoll,
@@ -227,7 +260,7 @@ class SlimIOSystem(_SystemBase):
         self.server = Server(
             env, KVStore(page_size=self.device.lba_size), self.wal,
             self._make_snapshot_sink, config.server, compressor,
-            config.compression, name="slimio",
+            config.compression, name=name,
         )
 
     def _make_snapshot_sink(self, kind: SnapshotKind) -> SnapshotPath:
@@ -265,7 +298,7 @@ class SlimIOSystem(_SystemBase):
     def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
                 account: Optional[CpuAccount] = None) -> Generator:
         """§4.2 recovery: metadata → snapshot slot → WAL replay."""
-        acct = account or CpuAccount(self.env, "slimio-recovery")
+        acct = account or CpuAccount(self.env, f"{self.name}-recovery")
         meta = yield from self.meta_store.read(acct)
         if meta is not None:
             self.space.slots.roles = [SlotRole(r) for r in meta.slot_roles]

@@ -8,7 +8,12 @@ the FDP SSD groups them into different Reclaim Units:
 * WAL-Snapshots — retired at the next WAL-Snapshot, own PID;
 * On-Demand Snapshots — long-lived (daily/manual backups), own PID.
 
-The paper's device exposes 8 PIDs; this policy uses 4.
+The paper's device exposes 8 PIDs; this policy uses 4. Multi-tenant
+deployments (``repro.cluster``) may not have 4 PIDs per tenant to
+spare: ``collapse_snapshots=True`` relaxes the lifetime separation so
+both snapshot classes share one PID — the bounded-degradation sharing
+mode the :class:`repro.cluster.pids.PidAllocator` falls back to when
+the device's PID space is oversubscribed.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.persist.snapshot import SnapshotKind
 
-__all__ = ["PlacementPolicy"]
+__all__ = ["PlacementPolicy", "validate_placement"]
 
 
 @dataclass(frozen=True)
@@ -28,18 +33,30 @@ class PlacementPolicy:
     wal_pid: int = 1
     wal_snapshot_pid: int = 2
     ondemand_snapshot_pid: int = 3
+    #: multi-tenant sharing mode: both snapshot classes intentionally
+    #: share one PID (WAL-Snapshot and On-Demand lifetimes mix)
+    collapse_snapshots: bool = False
 
     def __post_init__(self) -> None:
-        pids = (
-            self.metadata_pid,
-            self.wal_pid,
-            self.wal_snapshot_pid,
-            self.ondemand_snapshot_pid,
-        )
+        pids = self.pids
         if any(p < 0 for p in pids):
             raise ValueError("PIDs must be non-negative")
         if len(set(pids)) != len(pids):
             raise ValueError("PIDs must be distinct (lifetime separation)")
+        if self.collapse_snapshots and \
+                self.wal_snapshot_pid != self.ondemand_snapshot_pid:
+            raise ValueError(
+                "collapse_snapshots=True requires both snapshot classes "
+                "to share one PID"
+            )
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        """The distinct PIDs this policy writes with."""
+        base = (self.metadata_pid, self.wal_pid, self.wal_snapshot_pid)
+        if self.collapse_snapshots:
+            return base
+        return base + (self.ondemand_snapshot_pid,)
 
     def pid_for_snapshot(self, kind: SnapshotKind) -> int:
         if kind is SnapshotKind.WAL_TRIGGERED:
@@ -48,9 +65,24 @@ class PlacementPolicy:
 
     @property
     def max_pid(self) -> int:
-        return max(
-            self.metadata_pid,
-            self.wal_pid,
-            self.wal_snapshot_pid,
-            self.ondemand_snapshot_pid,
+        return max(self.pids)
+
+
+def validate_placement(policy: PlacementPolicy, num_pids: int,
+                       context: str = "device") -> None:
+    """Fail fast when a policy references PIDs the device cannot host.
+
+    An over-range Placement ID is *not* an error on real NVMe hardware
+    — it silently falls back to default placement (stream 0), which
+    defeats the whole write-isolation design without any visible
+    failure. Builders therefore validate at construction time instead
+    of letting the misconfiguration surface as a mysterious WAF > 1.
+    """
+    if policy.max_pid >= num_pids:
+        raise ValueError(
+            f"PlacementPolicy uses PID {policy.max_pid} but {context} "
+            f"exposes only {num_pids} PIDs (0..{num_pids - 1}); writes "
+            f"with out-of-range PIDs would silently fall back to stream 0 "
+            f"and defeat write isolation — shrink the policy's PIDs or "
+            f"raise the device's num_pids"
         )

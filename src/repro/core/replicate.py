@@ -21,7 +21,7 @@ own persistence applies to the replicated writes as usual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.imdb import ClientOp
 from repro.kernel.accounting import CpuAccount
@@ -73,6 +73,7 @@ def full_sync(
     replica,
     link: Optional[ReplicationLink] = None,
     reuse_snapshot: bool = False,
+    key_filter: Optional[Callable[[bytes], bool]] = None,
 ) -> Generator:
     """Bootstrap ``replica`` from ``master``; returns :class:`SyncReport`.
 
@@ -81,6 +82,12 @@ def full_sync(
     shipped as-is (stale tail covered by WAL forwarding only for
     records the master still has buffered — Redis semantics require a
     fresh BGSAVE for true full sync, which is the default here).
+
+    ``key_filter`` restricts the sync to a key subset: only matching
+    snapshot entries are loaded on the replica and only matching
+    post-fork writes are forwarded. This is the transfer engine for
+    slot-range migration (:func:`repro.cluster.reshard.migrate_slots`),
+    where the "replica" is a live shard that keeps its own keys.
     """
     env: Environment = master.env
     if replica.env is not env:
@@ -95,7 +102,8 @@ def full_sync(
     original_serve = master.server._serve
 
     def tapped_serve(op):
-        if op.op in ("SET", "DEL"):
+        if op.op in ("SET", "DEL") and \
+                (key_filter is None or key_filter(op.key)):
             backlog.append(op)
         return original_serve(op)
 
@@ -140,6 +148,8 @@ def full_sync(
             model=replica.config.compression,
         )
         entries = RdbReader(compressor).read_all(bytes(blob))
+        if key_filter is not None:
+            entries = [(k, v) for k, v in entries if key_filter(k)]
         report.snapshot_entries = len(entries)
         model = replica.config.compression
         raw = sum(len(k) + len(v) for k, v in entries)

@@ -102,7 +102,7 @@ class _Stream:
     """One write stream (a Placement ID in FDP terms)."""
 
     __slots__ = ("stream_id", "open_segment", "write_ptr", "pages_written",
-                 "place_locks")
+                 "gc_pages_copied", "place_locks")
 
     def __init__(self, stream_id: int, env: Environment):
         self.stream_id = stream_id
@@ -110,6 +110,7 @@ class _Stream:
         self.open_segment: list[Optional[int]] = [None, None]
         self.write_ptr: list[int] = [0, 0]
         self.pages_written = 0
+        self.gc_pages_copied = 0
         # placement must be atomic per (stream, role): allocation can
         # block, and concurrent page writes would otherwise race and
         # leak half-open segments
@@ -186,6 +187,30 @@ class FlashTranslationLayer:
     @property
     def stream_ids(self) -> list[int]:
         return sorted(self._streams)
+
+    def stream_stats(self, stream_id: int) -> tuple[int, int]:
+        """(host pages written, GC pages copied) within one stream."""
+        s = self._streams[stream_id]
+        return s.pages_written, s.gc_pages_copied
+
+    def waf_for_streams(self, stream_ids) -> float:
+        """WAF over a subset of streams (per-tenant attribution).
+
+        A tenant whose Placement IDs are shared with another tenant
+        sees the shared streams' traffic in full — attribution is by
+        stream, not by submitter, exactly as a real FDP device would
+        account Reclaim-Unit traffic.
+        """
+        host = copied = 0
+        for sid in set(stream_ids):
+            if sid not in self._streams:
+                continue
+            h, c = self.stream_stats(sid)
+            host += h
+            copied += c
+        if host == 0:
+            return 1.0
+        return (host + copied) / host
 
     # ------------------------------------------------------------------ queries
     @property
@@ -468,6 +493,7 @@ class FlashTranslationLayer:
         dst = yield from self._place(lpn, stream_id, ROLE_GC)
         yield from self.nand.program_page(dst)
         self.stats.gc_pages_copied += 1
+        self._streams[stream_id].gc_pages_copied += 1
         if self.obs is not None:
             c = self._obs_gc_copies.get(stream_id)
             if c is None:

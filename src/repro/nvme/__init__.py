@@ -14,6 +14,7 @@ from repro.nvme.commands import (
     WriteCmd,
 )
 from repro.nvme.device import DeviceStats, NvmeDevice
+from repro.nvme.partition import LbaPartition, partition_evenly
 
 __all__ = [
     "NvmeCommand",
@@ -22,4 +23,6 @@ __all__ = [
     "DeallocateCmd",
     "NvmeDevice",
     "DeviceStats",
+    "LbaPartition",
+    "partition_evenly",
 ]

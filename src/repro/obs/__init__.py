@@ -23,6 +23,7 @@ from repro.obs.export import (
     write_prometheus,
 )
 from repro.obs.registry import (
+    LabeledRegistry,
     MetricsRegistry,
     ObsCounter,
     ObsGauge,
@@ -34,6 +35,7 @@ from repro.obs.wiring import attach_registry
 
 __all__ = [
     "MetricsRegistry",
+    "LabeledRegistry",
     "ObsCounter",
     "ObsGauge",
     "ObsHistogram",

@@ -23,7 +23,7 @@ from repro.sim.engine import Environment
 from repro.sim.tracing import Tracer
 
 __all__ = ["ObsCounter", "ObsGauge", "ObsHistogram", "MetricsRegistry",
-           "render_metric_name"]
+           "LabeledRegistry", "render_metric_name"]
 
 
 def _label_key(labels: dict) -> tuple:
@@ -210,6 +210,15 @@ class MetricsRegistry:
         """All instruments in registration order."""
         return list(self._instruments.values())
 
+    def labeled(self, **labels) -> "LabeledRegistry":
+        """A view of this registry that stamps ``labels`` on everything.
+
+        Multi-tenant deployments attach one view per tenant (e.g.
+        ``registry.labeled(shard="shard2")``) so a single registry — and
+        a single export — tells tenants apart by label.
+        """
+        return LabeledRegistry(self, labels)
+
     # ------------------------------------------------------------ spans/events
     def span(self, name: str, track: str = "main", **labels) -> Span:
         return Span(self, name, track, labels)
@@ -248,6 +257,82 @@ class MetricsRegistry:
                 "kind": inst.kind, **inst.summary()
             }
         return out
+
+
+class LabeledRegistry:
+    """A label-injecting view over a :class:`MetricsRegistry`.
+
+    Exposes the full registry surface; every instrument, span, and
+    event created through the view carries the view's fixed labels
+    (call-site labels win on key collision). Views are cheap and
+    stateless — all storage lives in the base registry, so exporters
+    keep working on the base object unchanged.
+    """
+
+    def __init__(self, base: MetricsRegistry, labels: dict):
+        # collapse view-of-view so instruments always live in the root
+        if isinstance(base, LabeledRegistry):
+            labels = {**base.base_labels, **labels}
+            base = base.base
+        self.base = base
+        self.base_labels = dict(labels)
+
+    # pass-through state -------------------------------------------------
+    @property
+    def env(self) -> Environment:
+        return self.base.env
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.base.tracer
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        return self.base.spans
+
+    @property
+    def events(self) -> list[dict]:
+        return self.base.events
+
+    def instruments(self):
+        return self.base.instruments()
+
+    def snapshot(self) -> dict[str, dict]:
+        return self.base.snapshot()
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return self.base.spans_named(name)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        self.base._record_span(record)
+
+    # label-injecting surface --------------------------------------------
+    def _merge(self, labels: dict) -> dict:
+        return {**self.base_labels, **labels}
+
+    def counter(self, name: str, **labels) -> ObsCounter:
+        return self.base.counter(name, **self._merge(labels))
+
+    def gauge(self, name: str, fn=None, **labels) -> ObsGauge:
+        return self.base.gauge(name, fn=fn, **self._merge(labels))
+
+    def histogram(self, name: str, reservoir: int = 512,
+                  **labels) -> ObsHistogram:
+        return self.base.histogram(name, reservoir=reservoir,
+                                   **self._merge(labels))
+
+    def span(self, name: str, track: str = "main", **labels) -> Span:
+        return self.base.span(name, track=track, **self._merge(labels))
+
+    def event(self, name: str, **fields) -> None:
+        self.base.event(name, **self._merge(fields))
+
+    def labeled(self, **labels) -> "LabeledRegistry":
+        return LabeledRegistry(self, labels)
 
 
 def render_metric_name(name: str, labels: dict) -> str:

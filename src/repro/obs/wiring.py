@@ -30,12 +30,15 @@ _COMPONENT_ATTRS = (
 
 
 def attach_registry(system, registry: Optional[MetricsRegistry] = None,
-                    ) -> MetricsRegistry:
+                    include_device: bool = True) -> MetricsRegistry:
     """Wire a registry through ``system``; returns the registry.
 
     Creates one (named after the server) when none is passed. Safe to
     call once per system; instruments are get-or-create so re-wiring
-    the same registry is harmless.
+    the same registry is harmless. ``include_device=False`` skips the
+    FTL — multi-tenant deployments share one device across systems and
+    wire it separately (unlabeled) so shared GC is not mis-attributed
+    to whichever tenant attached last.
     """
     if registry is None:
         registry = MetricsRegistry(system.env, name=system.server.name)
@@ -45,7 +48,7 @@ def attach_registry(system, registry: Optional[MetricsRegistry] = None,
         if comp is not None and hasattr(comp, "attach_obs"):
             comp.attach_obs(registry)
     device = getattr(system, "device", None)
-    if device is not None:
+    if include_device and device is not None:
         device.ftl.attach_obs(registry)
     # snapshot rings/paths that already exist (late ones self-wire)
     for ring in getattr(system, "_snap_rings", {}).values():

@@ -14,6 +14,7 @@ compressibility, so snapshots behave like the paper's (compression
 does real work but doesn't collapse the data).
 """
 
+from repro.workloads.cluster import ClusterReport, ClusterWorkload
 from repro.workloads.keys import (
     UniformKeys,
     ZipfianKeys,
@@ -37,6 +38,8 @@ __all__ = [
     "RedisBenchWorkload",
     "YcsbAWorkload",
     "WorkloadReport",
+    "ClusterWorkload",
+    "ClusterReport",
     "TraceWorkload",
     "load_trace",
     "save_trace",

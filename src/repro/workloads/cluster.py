@@ -1,0 +1,220 @@
+"""Cluster-aware workload driver: one op stream, N shards.
+
+:class:`ClusterWorkload` wraps any :class:`ClosedLoopWorkload` shape
+(the same knobs, the same pre-drawn sequence) but routes every op
+through a :class:`~repro.cluster.ClusterRouter` instead of a single
+server, so the key's hash slot — not the driver — decides which shard
+does the work. The report comes back at two granularities:
+
+* one :class:`WorkloadReport` per shard (that shard's latency
+  recorders, snapshot windows, memory, and *its own* WAF read off the
+  shared FTL's per-stream counters for the shard's Placement IDs);
+* one aggregate report (total throughput, cluster-wide percentiles
+  merged from every shard's samples, device-global WAF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.persist import SnapshotKind
+from repro.sim.stats import LatencyRecorder
+from repro.workloads.keys import make_key, make_value
+from repro.workloads.runner import ClosedLoopWorkload, WorkloadReport
+
+__all__ = ["ClusterReport", "ClusterWorkload"]
+
+
+@dataclass
+class ClusterReport:
+    """Per-shard and aggregate measurements of one cluster run."""
+
+    aggregate: WorkloadReport = field(default_factory=WorkloadReport)
+    per_shard: list[WorkloadReport] = field(default_factory=list)
+    shard_names: list[str] = field(default_factory=list)
+    #: per-shard WAF over the shard's own Placement IDs
+    shard_waf: list[float] = field(default_factory=list)
+    #: ops the router sent to each shard
+    routed: list[int] = field(default_factory=list)
+    #: PID allocation summary (``PidAllocator.describe``)
+    pid_allocation: dict = field(default_factory=dict)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.per_shard)
+
+
+def _stream_baseline(ftl) -> dict[int, tuple[int, int]]:
+    return {sid: ftl.stream_stats(sid) for sid in ftl.stream_ids}
+
+
+def _waf_since(ftl, stream_ids, baseline) -> float:
+    host = copied = 0
+    for sid in set(stream_ids):
+        if sid not in ftl.stream_ids:
+            continue
+        h, c = ftl.stream_stats(sid)
+        h0, c0 = baseline.get(sid, (0, 0))
+        host += h - h0
+        copied += c - c0
+    if host == 0:
+        return 1.0
+    return (host + copied) / host
+
+
+class ClusterWorkload:
+    """Drive a cluster with a closed-loop shape; measure per shard."""
+
+    def __init__(self, shape: ClosedLoopWorkload):
+        self.shape = shape
+
+    # ------------------------------------------------------------ setup
+    def preload(self, cluster) -> None:
+        """Load initial records onto their owning shards (zero time)."""
+        shape = self.shape
+        for i in range(shape.preload_records):
+            key = make_key(i, shape.key_width)
+            shard = cluster.router.shard_for_key(key)
+            shard.server.store.set(
+                key, make_value(key, shape.value_size,
+                                shape.incompressible_fraction)
+            )
+
+    # ------------------------------------------------------------ running
+    def run(self, cluster, warmup_ops: int = 0) -> ClusterReport:
+        """Drive the cluster to completion and report.
+
+        Mirrors :meth:`ClosedLoopWorkload.run`: shared cursor over a
+        pre-drawn sequence, ``warmup_ops`` excluded from metrics, the
+        run settles only after every shard's snapshots finish.
+        """
+        shape = self.shape
+        env = cluster.env
+        self.preload(cluster)
+        keys, is_get = shape._draw_sequence()
+        cursor = {"i": 0}
+        snapshot_at = (
+            int(shape.total_ops * shape.snapshot_at_fraction)
+            if shape.snapshot_at_fraction is not None
+            else None
+        )
+        measure = {"t": 0.0, "done": warmup_ops == 0,
+                   "streams": _stream_baseline(cluster.device.ftl),
+                   "routed0": list(cluster.router.routed)}
+        started = [snapshot_at is None] * len(cluster.shards)
+
+        def begin_measurement() -> None:
+            measure["done"] = True
+            measure["t"] = env.now
+            measure["streams"] = _stream_baseline(cluster.device.ftl)
+            measure["routed0"] = list(cluster.router.routed)
+            for shard in cluster.shards:
+                shard.server.reset_metrics()
+
+        def client():
+            while True:
+                i = cursor["i"]
+                if i >= shape.total_ops:
+                    return
+                cursor["i"] = i + 1
+                if not measure["done"] and i >= warmup_ops:
+                    begin_measurement()
+                yield from cluster.router.execute(
+                    shape._op(keys[i], is_get[i])
+                )
+                if snapshot_at is not None and i >= snapshot_at \
+                        and not all(started):
+                    # On-Demand backup of the whole cluster; a shard
+                    # mid-WAL-snapshot declines and is retried later
+                    for j, s in enumerate(cluster.shards):
+                        if not started[j] and s.server.start_snapshot(
+                                SnapshotKind.ON_DEMAND) is not None:
+                            started[j] = True
+
+        procs = [env.process(client(), name=f"cluster-client-{c}")
+                 for c in range(shape.clients)]
+        for p in procs:
+            env.run(until=p)
+
+        def settle():
+            while any(s.server.snapshot_in_progress for s in cluster.shards):
+                yield env.timeout(1e-3)
+
+        env.run(until=env.process(settle(), name="cluster-settle"))
+        return self._report(cluster, measure)
+
+    # ------------------------------------------------------------ reporting
+    def _shard_report(self, cluster, index: int, t0: float,
+                      streams0: dict) -> WorkloadReport:
+        shard = cluster.shards[index]
+        env = cluster.env
+        m = shard.system.metrics
+        rep = WorkloadReport()
+        rep.ops = len(m.ops)
+        rep.duration = env.now - t0
+        phases = m.phase_rps(t_end=env.now)
+        rep.rps = phases["average"]
+        rep.rps_wal_only = phases["wal_only"]
+        rep.rps_wal_snapshot = phases["wal_snapshot"]
+        rep.set_p999 = m.set_latency.p(99.9)
+        rep.get_p999 = m.get_latency.p(99.9)
+        rep.set_mean = m.set_latency.mean()
+        rep.steady_memory = shard.server.store.used_bytes
+        rep.peak_memory = m.memory.peak
+        rep.snapshot_times = [s.duration for s in m.snapshots]
+        rep.snapshot_count = len(m.snapshots)
+        if shard.policy is not None:
+            rep.waf = _waf_since(cluster.device.ftl, shard.policy.pids,
+                                 streams0)
+        else:
+            # baseline: all shards share stream 0 — device-global WAF
+            rep.waf = _waf_since(cluster.device.ftl,
+                                 cluster.device.ftl.stream_ids, streams0)
+        return rep
+
+    def _report(self, cluster, measure: dict) -> ClusterReport:
+        env = cluster.env
+        t0 = measure["t"]
+        streams0 = measure["streams"]
+        out = ClusterReport()
+        out.shard_names = [s.name for s in cluster.shards]
+        out.pid_allocation = cluster.pid_report()
+        out.routed = [
+            n - n0 for n, n0 in zip(cluster.router.routed,
+                                    measure["routed0"])
+        ]
+        for i in range(len(cluster.shards)):
+            out.per_shard.append(self._shard_report(cluster, i, t0, streams0))
+        out.shard_waf = [r.waf for r in out.per_shard]
+
+        agg = WorkloadReport()
+        agg.ops = sum(r.ops for r in out.per_shard)
+        agg.duration = env.now - t0
+        agg.rps = agg.ops / agg.duration if agg.duration > 0 else 0.0
+        # shards serve concurrently: cluster phase throughput is the
+        # sum of the per-shard phase rates
+        agg.rps_wal_only = sum(r.rps_wal_only for r in out.per_shard)
+        agg.rps_wal_snapshot = sum(
+            r.rps_wal_snapshot for r in out.per_shard
+        )
+        set_all = LatencyRecorder("cluster-SET")
+        get_all = LatencyRecorder("cluster-GET")
+        for shard in cluster.shards:
+            m = shard.system.metrics
+            set_all.extend(m.set_latency.samples)
+            get_all.extend(m.get_latency.samples)
+        agg.set_p999 = set_all.p(99.9)
+        agg.get_p999 = get_all.p(99.9)
+        agg.set_mean = set_all.mean()
+        agg.steady_memory = sum(r.steady_memory for r in out.per_shard)
+        agg.peak_memory = sum(r.peak_memory for r in out.per_shard)
+        agg.snapshot_times = [
+            t for r in out.per_shard for t in r.snapshot_times
+        ]
+        agg.snapshot_count = sum(r.snapshot_count for r in out.per_shard)
+        agg.waf = _waf_since(cluster.device.ftl,
+                             cluster.device.ftl.stream_ids, streams0)
+        st = cluster.device.ftl.stats
+        agg.gc_segments_erased = st.segments_erased
+        out.aggregate = agg
+        return out

@@ -1,0 +1,57 @@
+"""Shared fixtures: a tiny cluster that builds and runs in milliseconds."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.core import SystemConfig
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.imdb import ClientOp
+from repro.workloads import make_value
+
+SMALL_SYSTEM = SystemConfig(
+    geometry=FlashGeometry(channels=1, dies_per_channel=2,
+                           blocks_per_die=64, pages_per_block=16),
+    nand=NandTiming(page_read=2e-6, page_program=5e-6, block_erase=20e-6,
+                    channel_transfer=0.0),
+    ftl=FtlConfig(op_ratio=0.2, gc_trigger_segments=3, gc_stop_segments=4,
+                  gc_reserve_segments=2),
+    wal_flush_interval=0.01,
+    fs_extent_pages=16,
+)
+
+
+def make_cluster(num_shards=2, design="slimio", **overrides):
+    cfg = ClusterConfig(num_shards=num_shards, design=design,
+                        system=SMALL_SYSTEM, **overrides)
+    return build_cluster(config=cfg)
+
+
+def route_fill(cluster, n, value_size=512, tag=b""):
+    """SET n keys through the router; returns the keys."""
+    keys = [tag + b"key:%d" % i for i in range(n)]
+
+    def filler():
+        for key in keys:
+            yield from cluster.router.execute(
+                ClientOp("SET", key, make_value(key, value_size)))
+
+    cluster.env.run(until=cluster.env.process(filler()))
+    return keys
+
+
+def drive(cluster, gen):
+    return cluster.env.run(until=cluster.env.process(gen))
+
+
+@pytest.fixture
+def two_shards():
+    cluster = make_cluster(2)
+    yield cluster
+    cluster.stop()
+
+
+@pytest.fixture
+def four_shards():
+    cluster = make_cluster(4)
+    yield cluster
+    cluster.stop()

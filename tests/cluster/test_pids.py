@@ -1,0 +1,94 @@
+"""PID allocator: dedicated-first carving and the sharing fallbacks."""
+
+import pytest
+
+from repro.cluster import PidAllocator, SharingMode
+from repro.core.placement import validate_placement
+
+
+def test_dedicated_while_pids_last():
+    alloc = PidAllocator(8)
+    for n in (1, 2):
+        policies = alloc.allocate(n)
+        pids = [p for policy in policies for p in policy.pids]
+        assert len(pids) == len(set(pids)), "dedicated PIDs must not overlap"
+        assert all(0 <= p < 8 for p in pids)
+        assert not any(p.collapse_snapshots for p in policies)
+
+
+def test_auto_mode_ladder():
+    assert PidAllocator.auto_mode(8, 1) is SharingMode.DEDICATED
+    assert PidAllocator.auto_mode(8, 2) is SharingMode.DEDICATED
+    assert PidAllocator.auto_mode(8, 3) is SharingMode.COLLAPSE
+    assert PidAllocator.auto_mode(8, 6) is SharingMode.COLLAPSE
+    assert PidAllocator.auto_mode(8, 7) is SharingMode.SHARE_WAL
+    assert PidAllocator.auto_mode(8, 64) is SharingMode.SHARE_WAL
+    assert PidAllocator.auto_mode(16, 4) is SharingMode.DEDICATED
+
+
+def test_dedicated_mode_refuses_to_share():
+    alloc = PidAllocator(8, mode=SharingMode.DEDICATED)
+    assert alloc.allocate(2)  # fits
+    with pytest.raises(ValueError, match="DEDICATED"):
+        alloc.allocate(3)
+
+
+def test_collapse_layout():
+    alloc = PidAllocator(8, mode=SharingMode.COLLAPSE)
+    policies = alloc.allocate(4)
+    assert all(p.metadata_pid == 0 for p in policies)
+    wal_pids = [p.wal_pid for p in policies]
+    assert wal_pids == [1, 2, 3, 4], "each shard keeps a dedicated WAL PID"
+    for p in policies:
+        assert p.collapse_snapshots
+        assert p.wal_snapshot_pid == p.ondemand_snapshot_pid
+        assert p.wal_snapshot_pid in range(5, 8)
+
+
+def test_collapse_needs_pool():
+    alloc = PidAllocator(8, mode=SharingMode.COLLAPSE)
+    with pytest.raises(ValueError, match="SHARE_WAL"):
+        alloc.allocate(7)  # 7 WALs + meta leave no snapshot PID
+
+
+def test_share_wal_layout():
+    alloc = PidAllocator(8, mode=SharingMode.SHARE_WAL)
+    policies = alloc.allocate(8)
+    assert all(p.metadata_pid == 0 for p in policies)
+    assert all(p.wal_snapshot_pid == 1 for p in policies)
+    assert all(p.ondemand_snapshot_pid == 2 for p in policies)
+    wal_pids = [p.wal_pid for p in policies]
+    assert set(wal_pids) == set(range(3, 8))
+    # 8 shards over 5 WAL PIDs: the round-robin pairs shards up
+    assert wal_pids[0] == wal_pids[5]
+
+
+def test_every_policy_fits_the_device():
+    for mode in SharingMode:
+        for n in (1, 2, 4, 8, 16):
+            alloc = PidAllocator(8, mode=mode)
+            try:
+                policies = alloc.allocate(n)
+            except ValueError:
+                continue
+            for policy in policies:
+                validate_placement(policy, 8)
+
+
+def test_describe():
+    alloc = PidAllocator(8)
+    d = alloc.describe(2)
+    assert d["mode"] == "dedicated"
+    assert d["shared_pids"] == []
+    assert len(d["pids_per_shard"]) == 2
+
+    d = PidAllocator(8, mode=SharingMode.COLLAPSE).describe(4)
+    assert d["mode"] == "collapse"
+    assert 0 in d["shared_pids"]
+
+
+def test_too_few_pids_rejected():
+    with pytest.raises(ValueError):
+        PidAllocator(3)
+    with pytest.raises(ValueError):
+        PidAllocator(8).allocate(0)

@@ -1,0 +1,91 @@
+"""Hash-slot key space: CRC16, hash tags, slot map ownership."""
+
+import pytest
+
+from repro.cluster import NUM_SLOTS, HashSlotMap, crc16, key_hash_slot
+
+
+def test_crc16_canonical_vector():
+    # the CCITT/XModem check value Redis documents for its slot hash
+    assert crc16(b"123456789") == 0x31C3
+
+
+def test_crc16_empty_and_single():
+    assert crc16(b"") == 0
+    assert 0 <= crc16(b"a") <= 0xFFFF
+
+
+def test_slot_range():
+    for key in (b"", b"a", b"user:1001", b"x" * 100):
+        assert 0 <= key_hash_slot(key) < NUM_SLOTS
+
+
+def test_hash_tags_pin_related_keys():
+    assert (
+        key_hash_slot(b"{user1000}.cart")
+        == key_hash_slot(b"{user1000}.profile")
+        == key_hash_slot(b"user1000")
+    )
+
+
+def test_empty_tag_hashes_whole_key():
+    # Redis rule: {} with an empty body is not a tag
+    assert key_hash_slot(b"{}x") == crc16(b"{}x") % NUM_SLOTS
+
+
+def test_unclosed_brace_hashes_whole_key():
+    assert key_hash_slot(b"{abc") == crc16(b"{abc") % NUM_SLOTS
+
+
+def test_first_tag_wins():
+    assert key_hash_slot(b"{a}{b}") == key_hash_slot(b"a")
+
+
+def test_str_keys_accepted():
+    assert key_hash_slot("user:1001") == key_hash_slot(b"user:1001")
+
+
+def test_initial_ranges_even_and_contiguous():
+    m = HashSlotMap(4)
+    assert m.slot_counts() == [NUM_SLOTS // 4] * 4
+    for shard in range(4):
+        lo, hi = m.shard_range(shard)
+        assert m.slots_of(shard) == list(range(lo, hi))
+
+
+def test_uneven_division_covers_every_slot():
+    m = HashSlotMap(3)
+    assert sum(m.slot_counts()) == NUM_SLOTS
+    assert min(m.slot_counts()) >= NUM_SLOTS // 3
+
+
+def test_single_shard_owns_everything():
+    m = HashSlotMap(1)
+    assert m.slot_counts() == [NUM_SLOTS]
+    assert m.shard_for_key(b"anything") == 0
+
+
+def test_move_reassigns_and_counts():
+    m = HashSlotMap(2)
+    lo, hi = m.shard_range(1)
+    moved = m.move(lo, lo + 100, 0)
+    assert moved == 100
+    assert all(m.shard_for_slot(s) == 0 for s in range(lo, lo + 100))
+    assert m.shard_for_slot(lo + 100) == 1
+    # idempotent: the range is already owned by 0
+    assert m.move(lo, lo + 100, 0) == 0
+    assert m.slot_counts() == [NUM_SLOTS // 2 + 100, NUM_SLOTS // 2 - 100]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HashSlotMap(0)
+    m = HashSlotMap(2)
+    with pytest.raises(ValueError):
+        m.shard_for_slot(NUM_SLOTS)
+    with pytest.raises(ValueError):
+        m.shard_range(2)
+    with pytest.raises(ValueError):
+        m.move(10, 10, 0)  # empty range
+    with pytest.raises(ValueError):
+        m.move(0, 10, 5)  # no such shard

@@ -78,6 +78,84 @@ def test_full_sync_forwards_concurrent_writes():
     master.stop(); replica.stop()
 
 
+def test_concurrent_overwrites_and_deletes_byte_for_byte():
+    """A writer mutating the dataset mid-sync (overwrites, fresh keys,
+    deletes) must leave the replica byte-for-byte equal to the master
+    once the backlog drains."""
+    env, master, replica = pair()
+    fill(env, master, 40)
+
+    done = {}
+    slow = ReplicationLink(bandwidth=4 * 1024 * 1024)
+
+    def sync():
+        done["report"] = yield from full_sync(master, replica, slow)
+        done["t_sync"] = env.now
+
+    def churn():
+        for i in range(12):
+            yield from master.server.execute(
+                ClientOp("SET", b"k%d" % i, b"overwritten" * 10))
+            yield from master.server.execute(
+                ClientOp("SET", b"new%d" % i, b"fresh" * 8))
+            yield from master.server.execute(ClientOp("DEL", b"k%d" % (i + 20)))
+            yield env.timeout(1e-4)
+        done["t_churn"] = env.now
+
+    p = env.process(sync())
+    env.process(churn())
+    env.run(until=p)
+    assert done["t_churn"] <= done["t_sync"], \
+        "test premise: churn must finish while the sync tap is live"
+    assert done["report"].records_forwarded >= 1
+    assert replica.server.store.as_dict() == master.server.store.as_dict()
+    master.stop(); replica.stop()
+
+
+def test_key_filter_restricts_snapshot_entries():
+    env, master, replica = pair()
+    fill(env, master, 20, tag=b"a")
+    fill(env, master, 20, tag=b"b")
+
+    report = env.run(until=env.process(full_sync(
+        master, replica, key_filter=lambda k: k.startswith(b"a"),
+    )))
+    assert report.snapshot_entries == 20
+    replicated = replica.server.store.as_dict()
+    assert len(replicated) == 20
+    assert all(k.startswith(b"a") for k in replicated)
+    # the master keeps everything — a filtered sync only copies
+    assert len(master.server.store.as_dict()) == 40
+    master.stop(); replica.stop()
+
+
+def test_key_filter_restricts_forwarding():
+    env, master, replica = pair()
+    fill(env, master, 30, tag=b"a")
+
+    slow = ReplicationLink(bandwidth=4 * 1024 * 1024)
+
+    def sync():
+        yield from full_sync(master, replica, slow,
+                             key_filter=lambda k: k.startswith(b"a"))
+
+    def churn():
+        for i in range(8):
+            yield from master.server.execute(
+                ClientOp("SET", b"a-live%d" % i, b"in" * 30))
+            yield from master.server.execute(
+                ClientOp("SET", b"z-live%d" % i, b"out" * 30))
+            yield env.timeout(1e-4)
+
+    p = env.process(sync())
+    env.process(churn())
+    env.run(until=p)
+    for i in range(8):
+        assert replica.server.store.get(b"a-live%d" % i) == b"in" * 30
+        assert replica.server.store.get(b"z-live%d" % i) is None
+    master.stop(); replica.stop()
+
+
 def test_cross_design_sync_baseline_to_slimio():
     env, master, replica = pair(build_baseline, build_slimio)
     fill(env, master, 25)

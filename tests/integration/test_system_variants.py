@@ -60,7 +60,7 @@ def test_slimio_no_sqpoll_variant_roundtrips():
 def test_experiment_registry_complete():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5",
-        "figure2a", "figure2b", "figure4", "figure5",
+        "figure2a", "figure2b", "figure4", "figure5", "cluster",
     }
     for fn in EXPERIMENTS.values():
         assert callable(fn)

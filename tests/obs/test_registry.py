@@ -108,3 +108,38 @@ def test_event_log(reg):
     reg.event("progress", done=3, total=10)
     assert reg.events == [{"t": 0.0, "name": "progress",
                            "done": 3, "total": 10}]
+
+
+# ---------------------------------------------------------------------------
+# labeled views
+# ---------------------------------------------------------------------------
+
+def test_labeled_view_stamps_instruments(reg):
+    view = reg.labeled(shard="shard0")
+    c = view.counter("ops_total", op="set")
+    assert c.labels == {"shard": "shard0", "op": "set"}
+    c.inc()
+    # the instrument lives in the base registry
+    assert c in reg.instruments()
+    # same name without the label is a distinct instrument
+    assert reg.counter("ops_total", op="set") is not c
+
+
+def test_labeled_view_call_site_wins(reg):
+    view = reg.labeled(shard="shard0")
+    c = view.counter("x", shard="override")
+    assert c.labels["shard"] == "override"
+
+
+def test_labeled_view_of_view_collapses(reg):
+    inner = reg.labeled(a="1").labeled(b="2")
+    assert inner.base is reg
+    g = inner.gauge("depth")
+    assert g.labels == {"a": "1", "b": "2"}
+
+
+def test_labeled_view_events_and_spans(reg):
+    view = reg.labeled(shard="shard3")
+    view.event("reshard_begin", slots=8)
+    assert reg.events[-1]["shard"] == "shard3"
+    assert reg.events[-1]["name"] == "reshard_begin"

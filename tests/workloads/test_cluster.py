@@ -1,0 +1,67 @@
+"""ClusterWorkload: one op stream fanned over shards, two-level report."""
+
+import pytest
+
+from repro.workloads import ClusterWorkload, YcsbAWorkload
+
+from tests.cluster.conftest import make_cluster
+
+
+def small_shape(**kw):
+    args = dict(clients=4, total_ops=1200, key_count=150, value_size=256)
+    args.update(kw)
+    return YcsbAWorkload(**args)
+
+
+@pytest.mark.parametrize("design", ["slimio", "baseline"])
+def test_report_shape(design):
+    cl = make_cluster(2, design=design)
+    report = ClusterWorkload(small_shape()).run(cl)
+    assert report.num_shards == 2
+    assert report.shard_names == ["shard0", "shard1"]
+    assert sum(r.ops for r in report.per_shard) == report.aggregate.ops
+    assert report.aggregate.ops == 1200
+    assert sum(report.routed) == 1200
+    assert report.aggregate.rps > 0
+    assert len(report.shard_waf) == 2
+    assert all(w >= 1.0 for w in report.shard_waf)
+    if design == "slimio":
+        assert report.pid_allocation["mode"] == "dedicated"
+    else:
+        assert report.pid_allocation == {}
+    cl.stop()
+
+
+def test_warmup_excluded_from_metrics():
+    cl = make_cluster(2)
+    report = ClusterWorkload(small_shape()).run(cl, warmup_ops=400)
+    # measured ops exclude the warmup prefix; clients already in
+    # flight when the boundary trips may land just after the reset
+    assert 800 <= report.aggregate.ops <= 800 + 4
+    assert sum(report.routed) == 1200 - 400
+    cl.stop()
+
+
+def test_snapshots_run_on_every_shard():
+    cl = make_cluster(2)
+    report = ClusterWorkload(
+        small_shape(snapshot_at_fraction=0.5)
+    ).run(cl)
+    assert all(r.snapshot_count >= 1 for r in report.per_shard)
+    assert report.aggregate.snapshot_count \
+        == sum(r.snapshot_count for r in report.per_shard)
+    cl.stop()
+
+
+def test_preload_routes_by_slot():
+    cl = make_cluster(4)
+    wl = ClusterWorkload(small_shape(preload_records=100))
+    wl.preload(cl)
+    total = sum(
+        len(list(s.server.store.snapshot_items())) for s in cl
+    )
+    assert total == 100
+    for shard in cl:
+        for key, _ in shard.server.store.snapshot_items():
+            assert cl.slot_map.shard_for_key(key) == shard.index
+    cl.stop()
