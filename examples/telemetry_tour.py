@@ -85,7 +85,7 @@ def main():
                           ("slimio", build_slimio)):
         runs[name] = run(name, builder, scale, outdir)
 
-    print("\n{:28s} {:>12s} {:>12s}".format("metric", "baseline", "slimio"))
+    print(f"\n{'metric':28s} {'baseline':>12s} {'slimio':>12s}")
     rows = [
         ("write amplification",
          lambda rep, reg: f"{reg.gauge('ftl_waf').value:.2f}"),
@@ -103,8 +103,8 @@ def main():
          lambda rep, reg: f"{rep.set_p999 * 1e3:.2f}"),
     ]
     for label, fmt in rows:
-        print("{:28s} {:>12s} {:>12s}".format(
-            label, fmt(*runs["baseline"]), fmt(*runs["slimio"])))
+        base, slim = fmt(*runs["baseline"]), fmt(*runs["slimio"])
+        print(f"{label:28s} {base:>12s} {slim:>12s}")
 
     print(f"\nNext: python -m repro.obs summarize {outdir}/slimio.jsonl")
     print(f"      python -m repro.obs trace {outdir}/slimio.jsonl")

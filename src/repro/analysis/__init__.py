@@ -1,0 +1,37 @@
+"""repro.analysis — slimcheck: static analysis + runtime I/O sanitizers.
+
+Two halves, one purpose: the invariants that make WAF = 1.00 possible
+are invisible to the type system, so we check them twice —
+
+* **slimlint** (:mod:`repro.analysis.rules`,
+  :mod:`repro.analysis.linter`, ``python -m repro.analysis``): an
+  AST-based linter with eight SLIM rules covering device-access
+  discipline, PID hygiene, determinism, layering, metric naming, FTL
+  encapsulation, FDP write tagging, and LBA state-machine ownership.
+* **runtime sanitizers** (:mod:`repro.analysis.sanitize`,
+  :mod:`repro.analysis.forkcheck`): opt-in wrappers (engine flag
+  ``sanitize=True``, bench ``--sanitize``) that validate every write
+  at execution time against the region/PID its origin declared, plus
+  a fork-snapshot race detector.
+"""
+
+from repro.analysis.linter import LintResult, lint_file, lint_paths, lint_source
+from repro.analysis.rules import LAYER_RANKS, RULES, Finding
+from repro.analysis.sanitize import (
+    SanitizerError,
+    SlimIOSanitizer,
+)
+from repro.analysis.forkcheck import ForkRaceDetector
+
+__all__ = [
+    "Finding",
+    "ForkRaceDetector",
+    "LAYER_RANKS",
+    "LintResult",
+    "RULES",
+    "SanitizerError",
+    "SlimIOSanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,84 @@
+"""slimlint CLI.
+
+Usage::
+
+    python -m repro.analysis [paths ...]
+    python -m repro.analysis src --format sarif --output slimlint.sarif
+    python -m repro.analysis --list-rules
+
+Exit status: 0 clean, 1 findings (or unreadable files), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.linter import lint_paths
+from repro.analysis.output import FORMATS
+from repro.analysis.rules import RULES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="slimlint: domain-aware static analysis for the "
+                    "SlimIO tree.",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             "(default: src tests examples)")
+    parser.add_argument("--format", choices=sorted(FORMATS),
+                        default="text", help="output format")
+    parser.add_argument("--output", default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.name:<26} {rule.summary}")
+        return 0
+
+    known = {rule.code for rule in RULES}
+    select = set(known)
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+    if args.ignore:
+        select -= {c.strip().upper() for c in args.ignore.split(",")
+                   if c.strip()}
+    unknown = select - known
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    paths = args.paths or [p for p in ("src", "tests", "examples")
+                           if Path(p).exists()]
+    if not paths:
+        print("nothing to lint (no paths given and no src/tests/examples "
+              "here)", file=sys.stderr)
+        return 2
+
+    result = lint_paths(paths, select=select)
+    report = FORMATS[args.format](result)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n", encoding="utf-8")
+        print(f"(report written to {out})", file=sys.stderr)
+    else:
+        print(report)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

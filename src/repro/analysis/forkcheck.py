@@ -1,0 +1,148 @@
+"""Fork-snapshot race detector.
+
+When a snapshot is active, the parent and the fork child share every
+heap page that existed at the fork instant. The execution-model
+contract (``repro.imdb``) is that every parent mutation of a shared
+page goes through :meth:`~repro.imdb.memory.CowMemory.touch` *at the
+mutation point*, paying the CoW fault and unsharing the page — that is
+what keeps the child's view frozen. A mutation that skips ``touch``
+(or touches the wrong range) means the child could observe post-fork
+data: a silently corrupt snapshot, the worst failure mode this repo
+models.
+
+:class:`ForkRaceDetector` wraps a live server's ``store`` and ``cow``:
+
+* a ``store.set``/``store.delete`` during an active snapshot records
+  which of the mutated pages were still CoW-shared — those become
+  *pending* pages that must be CoW-faulted before anything else
+  happens;
+* ``cow.touch`` clears the pending pages it covers;
+* the next mutation, and ``cow.reap`` (child exit), assert the pending
+  set is empty — any leftover page was mutated without a CoW fault,
+  i.e. the child raced the parent.
+
+Installed by :meth:`repro.analysis.sanitize.SlimIOSanitizer.watch_server`
+when the system is built with ``sanitize=True``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.analysis.sanitize import SanitizerError
+
+__all__ = ["ForkRaceDetector"]
+
+
+class _WatchedStore:
+    """KVStore proxy that reports page mutations to the detector."""
+
+    def __init__(self, inner, detector: ForkRaceDetector):
+        self._inner = inner
+        self._detector = detector
+
+    def set(self, key: bytes, value: bytes):
+        pages = self._inner.set(key, value)
+        if pages is not None:
+            self._detector.note_mutation(pages[0], pages[1])
+        return pages
+
+    def delete(self, key: bytes):
+        pages = self._inner.pages_of(key)
+        existed = self._inner.delete(key)
+        if existed and pages is not None:
+            self._detector.note_mutation(pages[0], pages[1])
+        return existed
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class _WatchedCow:
+    """CowMemory proxy that tracks fault coverage of pending pages."""
+
+    def __init__(self, inner, detector: ForkRaceDetector):
+        self._inner = inner
+        self._detector = detector
+
+    def arm(self, heap_pages: int) -> None:
+        self._detector.note_arm()
+        self._inner.arm(heap_pages)
+
+    def touch(self, first_page: int, n_pages: int, account) -> Generator:
+        self._detector.note_touch(first_page, n_pages)
+        copied = yield from self._inner.touch(first_page, n_pages, account)
+        return copied
+
+    def reap(self) -> None:
+        self._detector.note_reap()
+        self._inner.reap()
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class ForkRaceDetector:
+    """Watches one server for CoW-bypassing mutations during a fork."""
+
+    def __init__(self, server):
+        self.server = server
+        self._cow = server.cow
+        #: shared pages mutated but not yet CoW-faulted
+        self.pending: set[int] = set()
+        self.mutations_checked = 0
+        self.races = 0
+        server.store = _WatchedStore(server.store, self)
+        server.cow = _WatchedCow(server.cow, self)
+
+    # ------------------------------------------------------------------ events
+    def _fail(self, msg: str) -> None:
+        self.races += 1
+        raise SanitizerError(f"[forkcheck:{self.server.name}] {msg}")
+
+    def _assert_drained(self, when: str) -> None:
+        if self.pending:
+            pages = sorted(self.pending)
+            self.pending.clear()
+            self._fail(
+                f"{when}, but CoW-shared page(s) {pages[:8]}"
+                f"{'...' if len(pages) > 8 else ''} were mutated "
+                f"without a CoW fault — the fork child could observe "
+                f"post-fork data (corrupt snapshot)"
+            )
+
+    def note_arm(self) -> None:
+        self.pending.clear()
+
+    def note_mutation(self, first_page: int, n_pages: int) -> None:
+        if not self._cow.snapshot_active or n_pages == 0:
+            return
+        self._assert_drained("a new mutation arrived")
+        self.mutations_checked += 1
+        shared = self._cow._shared
+        end = min(first_page + n_pages, len(shared))
+        for page in range(first_page, end):
+            if shared[page]:
+                self.pending.add(page)
+
+    def note_touch(self, first_page: int, n_pages: int) -> None:
+        if not self.pending:
+            return
+        self.pending.difference_update(
+            range(first_page, first_page + n_pages)
+        )
+
+    def note_reap(self) -> None:
+        self._assert_drained("the snapshot child exited")
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "mutations_checked": self.mutations_checked,
+            "races": self.races,
+        }

@@ -1,0 +1,201 @@
+"""slimlint driver: file discovery, package scoping, pragma suppression.
+
+The driver walks the requested paths, infers each module's *package
+scope* (``src/repro/<pkg>/...`` and ``tests/<pkg>/...`` both map onto
+``<pkg>``, so a layer's own tests share its privileges), parses the
+module once, runs every selected rule from :mod:`repro.analysis.rules`,
+and then filters the findings through ``# slimlint:`` pragmas:
+
+* ``# slimlint: ignore[SLIM001]`` — trailing comment suppresses the
+  named rule(s) on that line (comma-separate for several).
+* ``# slimlint: ignore-file[SLIM003]`` — anywhere in the file,
+  suppresses the rule(s) for the whole module.
+
+Suppression is deliberately *rule-scoped*: there is no bare ``ignore``
+that silences everything, so every pragma documents which invariant it
+is waiving.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.rules import RULES, Finding, ModuleContext, run_rules
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "lint_file"]
+
+_PRAGMA = re.compile(r"#\s*slimlint:\s*(ignore(?:-file)?)\[([A-Z0-9,\s]+)\]")
+_ALL_CODES = {rule.code for rule in RULES}
+
+
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping from one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def _infer_context(path: Path, display: str) -> ModuleContext:
+    """Map a path onto its repro package scope."""
+    parts = path.parts
+    package: str | None = None
+    is_test = False
+    is_src = False
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            i = parts.index(anchor)
+            if i + 1 < len(parts) - 0 and len(parts) > i + 1:
+                nxt = parts[i + 1]
+                candidate = nxt if not nxt.endswith(".py") else None
+                if anchor == "repro":
+                    is_src = "src" in parts[:i] or parts[0] == "repro"
+                    if candidate:
+                        package = candidate
+                else:
+                    is_test = True
+                    if candidate and package is None:
+                        package = candidate
+            if anchor == "tests":
+                is_test = True
+    return ModuleContext(path=display, package=package,
+                         is_test=is_test, is_src=is_src)
+
+
+def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-level suppressed rule codes."""
+    line_sup: dict[int, set[str]] = {}
+    file_sup: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for kind, codes_str in _PRAGMA.findall(line):
+            codes = {c.strip() for c in codes_str.split(",") if c.strip()}
+            if kind == "ignore-file":
+                file_sup |= codes
+            else:
+                line_sup.setdefault(lineno, set()).update(codes)
+    return line_sup, file_sup
+
+
+def _suppressed_lines(node_lines: tuple[int, int],
+                      line_sup: dict[int, set[str]], code: str) -> bool:
+    lo, hi = node_lines
+    for lineno in (lo, hi):
+        if code in line_sup.get(lineno, ()):
+            return True
+    return False
+
+
+def lint_source(source: str, path: str = "<string>",
+                package: str | None = None, *,
+                is_test: bool = False, is_src: bool = True,
+                select: set[str] | None = None,
+                result: LintResult | None = None) -> LintResult:
+    """Lint one in-memory module (the unit-test entry point)."""
+    res = result if result is not None else LintResult()
+    res.files_checked += 1
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        res.errors.append(f"{path}:{exc.lineno or 0}: syntax error: "
+                          f"{exc.msg}")
+        return res
+    ctx = ModuleContext(path=path, package=package,
+                        is_test=is_test, is_src=is_src)
+    line_sup, file_sup = _parse_pragmas(source)
+    _collect(tree, ctx, source, line_sup, file_sup, select, res)
+    return res
+
+
+def _collect(tree: ast.Module, ctx: ModuleContext, source: str,
+             line_sup: dict[int, set[str]], file_sup: set[str],
+             select: set[str] | None, res: LintResult) -> None:
+    # map findings back to nodes via (line, col) is lossy; instead run
+    # rules and use each finding's own line plus the node end line when
+    # the rule recorded a multi-line node.  The pragma contract is: the
+    # pragma sits on the finding's anchor line or the statement's last
+    # line, which rules report via lineno of the offending node.
+    end_lines = _end_line_index(tree)
+    for f in run_rules(tree, ctx, select):
+        if f.code in file_sup:
+            res.suppressed += 1
+            continue
+        node_end = end_lines.get((f.line, f.col), f.line)
+        if _suppressed_lines((f.line, node_end), line_sup, f.code):
+            res.suppressed += 1
+            continue
+        res.findings.append(f)
+
+
+def _end_line_index(tree: ast.Module) -> dict[tuple[int, int], int]:
+    """(lineno, col) -> end_lineno for every node, for pragma matching."""
+    index: dict[tuple[int, int], int] = {}
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is not None and end is not None:
+            key = (lineno, node.col_offset)
+            index[key] = max(index.get(key, end), end)
+    return index
+
+
+def lint_file(path: Path, root: Path | None = None,
+              select: set[str] | None = None,
+              result: LintResult | None = None) -> LintResult:
+    """Lint one file on disk."""
+    res = result if result is not None else LintResult()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        res.errors.append(f"{path}: unreadable: {exc}")
+        return res
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.relative_to(root))
+        except ValueError:
+            pass
+    ctx = _infer_context(path.resolve(), display)
+    res.files_checked += 1
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        res.errors.append(f"{display}:{exc.lineno or 0}: syntax error: "
+                          f"{exc.msg}")
+        return res
+    line_sup, file_sup = _parse_pragmas(source)
+    _collect(tree, ctx, source, line_sup, file_sup, select, res)
+    return res
+
+
+def lint_paths(paths: list[str], *, select: set[str] | None = None,
+               root: Path | None = None) -> LintResult:
+    """Lint files and/or directory trees; directories recurse over .py."""
+    res = LintResult()
+    base = root if root is not None else Path.cwd()
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            files = [p]
+        else:
+            res.errors.append(f"{raw}: no such file or directory")
+            continue
+        for f in files:
+            rp = f.resolve()
+            if rp in seen:
+                continue
+            seen.add(rp)
+            lint_file(f, root=base, select=select, result=res)
+    res.findings.sort(key=lambda f: (f.file, f.line, f.col, f.code))
+    return res

@@ -1,0 +1,108 @@
+"""Render slimlint results as text, JSON, or SARIF 2.1.0.
+
+SARIF output follows the minimal schema GitHub code scanning ingests:
+one run, one rule descriptor per SLIM rule, one result per finding
+with a physical location.  The JSON format is a flat machine-readable
+dump for ad-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.linter import LintResult
+from repro.analysis.rules import RULES
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(result: LintResult) -> str:
+    lines = [f.render() for f in result.findings]
+    lines.extend(result.errors)
+    n = len(result.findings)
+    noun = "finding" if n == 1 else "findings"
+    lines.append(f"slimlint: {n} {noun} in {result.files_checked} files "
+                 f"({result.suppressed} suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "tool": "slimlint",
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "errors": list(result.errors),
+        "findings": [
+            {
+                "code": f.code,
+                "message": f.message,
+                "file": f.file,
+                "line": f.line,
+                "col": f.col + 1,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(result: LintResult) -> str:
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in RULES
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "slimlint",
+                        "informationUri":
+                            "https://example.invalid/slimio/slimlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.bench.experiments import EXPERIMENTS
@@ -31,6 +32,11 @@ def main(argv=None) -> int:
                         help="also write the report to this file "
                              "(default: out/bench_<scale>_results.txt; "
                              "'-' disables the file)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the repro.analysis runtime "
+                             "sanitizers active on every SlimIO system "
+                             "(validates region/PID placement, slot "
+                             "promotion, and fork-race freedom)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -39,6 +45,8 @@ def main(argv=None) -> int:
         return 0
 
     scale = get_scale(args.scale)
+    if args.sanitize:
+        scale = replace(scale, sanitize=True)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_path = args.out
     if out_path is None:
@@ -50,9 +58,9 @@ def main(argv=None) -> int:
         if fn is None:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = fn(scale)
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
         text = (f"{result.format()}\n\n(regenerated in {elapsed:.1f}s "
                 f"wall at scale '{scale.name}')\n")
         print(text)

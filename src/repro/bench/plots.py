@@ -8,7 +8,7 @@ nosedives, the snapshot windows — directly in the report.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

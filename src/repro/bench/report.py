@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 __all__ = ["format_table", "ExperimentResult"]
 
@@ -45,7 +46,7 @@ class ExperimentResult:
     headers: list[str]
     rows: list[list[Any]] = field(default_factory=list)
     #: the values the paper reports, same headers where sensible
-    paper_reference: Optional[str] = None
+    paper_reference: str | None = None
     #: observations about whether the paper's shape holds in this run
     shape_checks: list[tuple[str, bool]] = field(default_factory=list)
     notes: str = ""

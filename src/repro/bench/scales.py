@@ -55,6 +55,9 @@ class Scale:
     gc_heavy_device_mb: int = 24
     gc_heavy_trigger_bytes: int = 3 * 1024 * 1024
     snapshot_chunk_entries: int = 64
+    #: run every experiment with the repro.analysis runtime sanitizers
+    #: active on SlimIO systems (``python -m repro.bench --sanitize``)
+    sanitize: bool = False
 
     # ------------------------------------------------------------------ configs
     def _geometry(self, mb: int) -> FlashGeometry:
@@ -102,6 +105,7 @@ class Scale:
             dirty_limit_bytes=max(4 * MB, mb * MB // 4),
             wal_buffer_limit_bytes=4 * MB,
             fs_extent_pages=64,
+            sanitize=self.sanitize,
         )
         if overrides:
             cfg = replace(cfg, **overrides)

@@ -12,7 +12,8 @@ import csv
 import itertools
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import Any
 
 __all__ = ["SweepResult", "sweep", "write_csv"]
 

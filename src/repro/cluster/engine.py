@@ -18,7 +18,6 @@ silently landing writes in stream 0.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Union
 
 from repro.cluster.pids import PidAllocator, SharingMode
 from repro.cluster.router import ClusterRouter
@@ -45,7 +44,7 @@ class ClusterConfig:
     num_pids: int = 8
     #: fallback when dedicated PIDs run out; ``None`` = pick the
     #: least-sharing mode that fits (see ``PidAllocator.auto_mode``)
-    sharing: Optional[SharingMode] = None
+    sharing: SharingMode | None = None
     #: per-shard stack template; ``geometry`` sizes the *whole* shared
     #: device, ``placement`` is overridden by the PID allocator
     system: SystemConfig = field(default_factory=SystemConfig)
@@ -63,10 +62,10 @@ class ShardHandle:
 
     index: int
     name: str
-    system: Union[SlimIOSystem, BaselineSystem]
+    system: SlimIOSystem | BaselineSystem
     partition: LbaPartition
     #: None for baseline shards (conventional device, no PIDs)
-    policy: Optional[PlacementPolicy]
+    policy: PlacementPolicy | None
 
     @property
     def server(self):
@@ -100,8 +99,8 @@ class SlimIOCluster:
             num_pids=config.num_pids,
         )
         partitions = partition_evenly(self.device, config.num_shards)
-        self.allocator: Optional[PidAllocator] = None
-        policies: list[Optional[PlacementPolicy]] = [None] * config.num_shards
+        self.allocator: PidAllocator | None = None
+        policies: list[PlacementPolicy | None] = [None] * config.num_shards
         if slimio:
             mode = config.sharing or PidAllocator.auto_mode(
                 config.num_pids, config.num_shards
@@ -183,8 +182,8 @@ class SlimIOCluster:
             shard.system.stop()
 
 
-def build_cluster(env: Optional[Environment] = None,
-                  config: Optional[ClusterConfig] = None,
+def build_cluster(env: Environment | None = None,
+                  config: ClusterConfig | None = None,
                   **overrides) -> SlimIOCluster:
     """Stand up a cluster; ``overrides`` patch :class:`ClusterConfig`."""
     cfg = config or ClusterConfig()

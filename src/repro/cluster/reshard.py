@@ -25,7 +25,8 @@ worth measuring rather than assuming free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Optional
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.cluster.slots import key_hash_slot
 from repro.core.replicate import ReplicationLink, SyncReport, full_sync
@@ -54,11 +55,11 @@ class MigrationReport:
 
 
 def migrate_slots(
-    cluster: "SlimIOCluster",
+    cluster: SlimIOCluster,
     slot_lo: int,
     slot_hi: int,
     dst: int,
-    link: Optional[ReplicationLink] = None,
+    link: ReplicationLink | None = None,
 ) -> Generator:
     """Move slots ``[slot_lo, slot_hi)`` to shard ``dst``; returns
     :class:`MigrationReport`. The range must currently be owned by one

@@ -14,7 +14,8 @@ and the very next op routes to the new owner.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.cluster.slots import key_hash_slot
 from repro.imdb import ClientOp
@@ -28,7 +29,7 @@ __all__ = ["ClusterRouter"]
 class ClusterRouter:
     """Slot-hash routing over a cluster's shards."""
 
-    def __init__(self, cluster: "SlimIOCluster"):
+    def __init__(self, cluster: SlimIOCluster):
         self.cluster = cluster
         #: ops routed per shard index (routing-table hit counts)
         self.routed = [0] * len(cluster.shards)
@@ -37,10 +38,10 @@ class ClusterRouter:
     def slot_map(self):
         return self.cluster.slot_map
 
-    def shard_for_key(self, key: bytes | str) -> "ShardHandle":
+    def shard_for_key(self, key: bytes | str) -> ShardHandle:
         return self.cluster.shards[self.slot_map.shard_for_key(key)]
 
-    def shard_for_slot(self, slot: int) -> "ShardHandle":
+    def shard_for_slot(self, slot: int) -> ShardHandle:
         return self.cluster.shards[self.slot_map.shard_for_slot(slot)]
 
     def execute(self, op: ClientOp) -> Generator:

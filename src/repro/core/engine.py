@@ -22,7 +22,7 @@ interface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.core.lba import LbaSpaceManager, SlotRole
 from repro.core.metadata import MetadataStore
@@ -95,7 +95,12 @@ class SystemConfig:
     #: for the placement policy (min 8, the paper's device). Setting
     #: it explicitly makes the build fail fast if the policy does not
     #: fit — see :func:`repro.core.placement.validate_placement`.
-    num_pids: Optional[int] = None
+    num_pids: int | None = None
+    #: run the repro.analysis runtime sanitizers: every write is
+    #: validated against the region/PID its origin declared, slot
+    #: promotion is guarded, and fork-snapshot races are detected.
+    #: Ignored by the baseline (its invariants live in the fs layer).
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_pids is not None and self.num_pids < 1:
@@ -184,7 +189,7 @@ class BaselineSystem(_SystemBase):
         return FileSnapshotSource(self.fs, f"{kind.value}.rdb")
 
     def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
-                account: Optional[CpuAccount] = None) -> Generator:
+                account: CpuAccount | None = None) -> Generator:
         """Full recovery: load the snapshot file, replay the AOF."""
         acct = account or CpuAccount(self.env, "baseline-recovery")
         source = None
@@ -232,10 +237,19 @@ class SlimIOSystem(_SystemBase):
         if self.device.fdp:
             validate_placement(config.placement, self.device.num_pids,
                                context=f"the device backing {name!r}")
+        self.sanitizer = None
+        if config.sanitize:
+            # lazy import: analysis sits above core in the layering
+            from repro.analysis.sanitize import SlimIOSanitizer
+
+            self.sanitizer = SlimIOSanitizer(name=name)
+            self.device = self.sanitizer.wrap_device(self.device)
         self.space = LbaSpaceManager(
             self.device.num_lbas,
             snapshot_fraction=config.snapshot_fraction,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.bind(self.space, config.placement)
         self.main_account = CpuAccount(env, f"{name}-main")
         # the WAL-Path ring lives in the main process (§4.1)
         self.wal_ring = PassthruQueuePair(
@@ -262,6 +276,8 @@ class SlimIOSystem(_SystemBase):
             self._make_snapshot_sink, config.server, compressor,
             config.compression, name=name,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.watch_server(self.server)
 
     def _make_snapshot_sink(self, kind: SnapshotKind) -> SnapshotPath:
         if self.config.shared_ring:
@@ -285,7 +301,7 @@ class SlimIOSystem(_SystemBase):
         return path
 
     def snapshot_source(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
-                        ring: Optional[PassthruQueuePair] = None,
+                        ring: PassthruQueuePair | None = None,
                         ) -> SlimIOSnapshotSource:
         source = SlimIOSnapshotSource(
             ring or self.wal_ring, self.space, kind,
@@ -296,7 +312,7 @@ class SlimIOSystem(_SystemBase):
         return source
 
     def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
-                account: Optional[CpuAccount] = None) -> Generator:
+                account: CpuAccount | None = None) -> Generator:
         """§4.2 recovery: metadata → snapshot slot → WAL replay."""
         acct = account or CpuAccount(self.env, f"{self.name}-recovery")
         meta = yield from self.meta_store.read(acct)
@@ -319,6 +335,8 @@ class SlimIOSystem(_SystemBase):
             self.config.compression,
             obs=self.obs,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.notify_recovery()
         return result
 
     def crash(self) -> None:
@@ -330,8 +348,8 @@ class SlimIOSystem(_SystemBase):
         self.wal_path._tail_vpn = None
 
 
-def build_baseline(env: Optional[Environment] = None,
-                   config: Optional[SystemConfig] = None,
+def build_baseline(env: Environment | None = None,
+                   config: SystemConfig | None = None,
                    **overrides) -> BaselineSystem:
     """Stand up the baseline system (see module docstring).
 
@@ -343,8 +361,8 @@ def build_baseline(env: Optional[Environment] = None,
     return BaselineSystem(env or Environment(), cfg)
 
 
-def build_slimio(env: Optional[Environment] = None,
-                 config: Optional[SystemConfig] = None,
+def build_slimio(env: Environment | None = None,
+                 config: SystemConfig | None = None,
                  **overrides) -> SlimIOSystem:
     """Stand up the SlimIO system (see module docstring)."""
     cfg = config or SystemConfig()

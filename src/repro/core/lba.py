@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.persist.snapshot import SnapshotKind
 
@@ -34,7 +33,7 @@ class SlotRole(enum.IntEnum):
     UNUSED = 3
 
     @staticmethod
-    def for_kind(kind: SnapshotKind) -> "SlotRole":
+    def for_kind(kind: SnapshotKind) -> SlotRole:
         return (
             SlotRole.WAL_SNAPSHOT
             if kind is SnapshotKind.WAL_TRIGGERED
@@ -60,7 +59,7 @@ class LbaLayout:
 
     @staticmethod
     def partition(total_lbas: int, metadata_lbas: int = 2,
-                  snapshot_fraction: float = 0.45) -> "LbaLayout":
+                  snapshot_fraction: float = 0.45) -> LbaLayout:
         usable = total_lbas - metadata_lbas
         slot = max(1, int(usable * snapshot_fraction) // 3)
         return LbaLayout(total_lbas, metadata_lbas, slot, snapshot_fraction)
@@ -96,7 +95,7 @@ class SnapshotSlots:
                                       SlotRole.UNUSED]
         self.lengths: list[int] = [0, 0, 0]  # bytes of published snapshot
 
-    def slot_of(self, role: SlotRole) -> Optional[int]:
+    def slot_of(self, role: SlotRole) -> int | None:
         try:
             return self.roles.index(role)
         except ValueError:
@@ -108,7 +107,7 @@ class SnapshotSlots:
         assert idx is not None, "invariant: exactly one reserve slot"
         return idx
 
-    def promote(self, kind: SnapshotKind, snapshot_bytes: int) -> Optional[int]:
+    def promote(self, kind: SnapshotKind, snapshot_bytes: int) -> int | None:
         """Publish the snapshot in the reserve slot.
 
         Returns the slot index that became the new reserve (the role's
@@ -145,7 +144,7 @@ class WalRegion:
         self.layout = layout
         self.gen_start = 0  # vpn
         self.head = 0  # vpn, next page to write
-        self.prev_start: Optional[int] = None  # retired gen awaiting dealloc
+        self.prev_start: int | None = None  # retired gen awaiting dealloc
 
     @property
     def wal_pages(self) -> int:

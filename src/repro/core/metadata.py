@@ -13,7 +13,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.core.lba import LbaLayout, SlotRole
 from repro.kernel.accounting import CpuAccount
@@ -37,7 +37,7 @@ class Metadata:
     seqno: int = 0
     wal_gen_start: int = 0
     wal_head: int = 0
-    wal_prev_start: Optional[int] = None  # retired-pending generation
+    wal_prev_start: int | None = None  # retired-pending generation
     wal_prev_bytes: int = 0  # logical bytes of that generation
     slot_roles: list[int] = field(
         default_factory=lambda: [int(SlotRole.RESERVE), int(SlotRole.UNUSED),
@@ -66,7 +66,7 @@ class MetadataCodec:
         return body + bytes(page_size - len(body))
 
     @staticmethod
-    def decode(page: bytes) -> Optional[Metadata]:
+    def decode(page: bytes) -> Metadata | None:
         """Returns None for blank/corrupt pages (not an error: recovery
         probes both copies)."""
         need = _HDR.size + 3 * _SLOT.size + _CRC.size
@@ -121,7 +121,7 @@ class MetadataStore:
     def read(self, account: CpuAccount) -> Generator:
         """Recovery: read both copies, return the freshest valid one
         (None on a factory-blank device)."""
-        best: Optional[Metadata] = None
+        best: Metadata | None = None
         for i in range(2):
             page = yield from self.ring.submit_and_wait(
                 ReadCmd(lba=self.layout.metadata_base + i, nlb=1), account

@@ -25,7 +25,7 @@ Durability/ordering contracts:
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.core.lba import LbaSpaceManager, SlotRole
 from repro.core.metadata import Metadata, MetadataStore
@@ -36,7 +36,7 @@ from repro.kernel.iouring import PassthruQueuePair
 from repro.nvme import ReadCmd, WriteCmd
 from repro.persist.interfaces import AppendSink, SnapshotSink, SnapshotSource
 from repro.persist.snapshot import SnapshotKind
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, Resource
 
 __all__ = ["WalPath", "SnapshotPath", "SlimIOSnapshotSource"]
 
@@ -56,7 +56,7 @@ class WalPath(AppendSink):
         space: LbaSpaceManager,
         meta_store: MetadataStore,
         account: CpuAccount,
-        placement: Optional[PlacementPolicy] = None,
+        placement: PlacementPolicy | None = None,
     ):
         self.env = env
         self.ring = ring
@@ -67,10 +67,16 @@ class WalPath(AppendSink):
         self._staged: list[bytes] = []
         self._staged_bytes = 0
         self._tail: bytes = b""  # bytes already flushed into a partial page
-        self._tail_vpn: Optional[int] = None
+        self._tail_vpn: int | None = None
+        # the circular-log cursor is single-writer: WalManager's everysec
+        # fsync runs outside its sink lock (safe for a file sink, whose
+        # flush is an idempotent fsync), so concurrent flush() calls CAN
+        # arrive here — serialize them or two flushes compute their
+        # start page from stale _tail_vpn and overwrite each other
+        self._flush_lock = Resource(env, capacity=1)
         self._gen_bytes = 0
         self._prev_gen_bytes = 0  # logical length of the retiring generation
-        self._meta_inflight: Optional[Event] = None
+        self._meta_inflight: Event | None = None
         self.obs = None
 
     def attach_obs(self, registry) -> None:
@@ -97,8 +103,16 @@ class WalPath(AppendSink):
         """Write staged bytes; returns when they are on flash."""
         if not self._staged and self._tail_vpn is None:
             return
+        req = self._flush_lock.request()
+        yield req
+        try:
+            yield from self._flush_locked(account)
+        finally:
+            self._flush_lock.release(req)
+
+    def _flush_locked(self, account: CpuAccount) -> Generator:
         if not self._staged:
-            return  # tail already durable
+            return  # tail already durable (or a rival flush drained us)
         page = self.ring.device.lba_size
         data = self._tail + b"".join(self._staged)
         self._staged.clear()
@@ -264,7 +278,7 @@ class SnapshotPath(SnapshotSink):
         space: LbaSpaceManager,
         meta_store: MetadataStore,
         kind: SnapshotKind,
-        placement: Optional[PlacementPolicy] = None,
+        placement: PlacementPolicy | None = None,
         write_batch_pages: int = 8,
         max_inflight_batches: int = 16,
     ):
@@ -279,7 +293,7 @@ class SnapshotPath(SnapshotSink):
         self.batch_pages = write_batch_pages
         self.max_inflight = max_inflight_batches
         self._buffer = bytearray()
-        self._slot: Optional[int] = None
+        self._slot: int | None = None
         self._pages_written = 0
         self._bytes = 0
         self._inflight: list[Event] = []

@@ -10,7 +10,7 @@ recovery speedup comes from.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.iouring import PassthruQueuePair
@@ -135,7 +135,7 @@ class ReadAheadBuffer:
             del self._pages[idx]
         return bytes(out)
 
-    def _find_inflight_for(self, idx: int) -> Optional[tuple[int, Event]]:
+    def _find_inflight_for(self, idx: int) -> tuple[int, Event] | None:
         for start, ev in self._inflight.items():
             n = min(self.batch_pages, self.npages - start)
             if start <= idx < start + n:

@@ -21,7 +21,7 @@ own persistence applies to the replicated writes as usual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 from repro.imdb import ClientOp
 from repro.kernel.accounting import CpuAccount
@@ -71,9 +71,9 @@ class SyncReport:
 def full_sync(
     master,
     replica,
-    link: Optional[ReplicationLink] = None,
+    link: ReplicationLink | None = None,
     reuse_snapshot: bool = False,
-    key_filter: Optional[Callable[[bytes], bool]] = None,
+    key_filter: Callable[[bytes], bool] | None = None,
 ) -> Generator:
     """Bootstrap ``replica`` from ``master``; returns :class:`SyncReport`.
 

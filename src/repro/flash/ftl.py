@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Generator, Optional
+from collections.abc import Generator
 
 import numpy as np
 
@@ -107,7 +107,7 @@ class _Stream:
     def __init__(self, stream_id: int, env: Environment):
         self.stream_id = stream_id
         # one open segment per role: [host, gc]
-        self.open_segment: list[Optional[int]] = [None, None]
+        self.open_segment: list[int | None] = [None, None]
         self.write_ptr: list[int] = [0, 0]
         self.pages_written = 0
         self.gc_pages_copied = 0
@@ -155,9 +155,9 @@ class FlashTranslationLayer:
         self.counters = Counter()
         self.obs = None
         self._space_waiters: list[Event] = []
-        self._gc_kick: Optional[Event] = None
-        self._bg_wake: Optional[Event] = None
-        self._invalidation: Optional[Event] = None
+        self._gc_kick: Event | None = None
+        self._bg_wake: Event | None = None
+        self._invalidation: Event | None = None
         self._gc_proc = env.process(self._gc_loop(), name="ftl-gc")
 
     # ------------------------------------------------------------------ telemetry
@@ -353,7 +353,7 @@ class FlashTranslationLayer:
         ):
             self._gc_kick.succeed()
 
-    def _pick_victim(self) -> Optional[int]:
+    def _pick_victim(self) -> int | None:
         """Greedy: the FULL segment with the fewest valid pages.
 
         A 100%-valid segment is never a victim — copying it gains no
@@ -394,7 +394,7 @@ class FlashTranslationLayer:
         if self._bg_wake is not None and not self._bg_wake.triggered:
             self._bg_wake.succeed()
 
-    def _pick_dead(self) -> Optional[int]:
+    def _pick_dead(self) -> int | None:
         """A fully-invalid FULL segment (copy-free reclaim), if any."""
         full = np.flatnonzero(
             (self._seg_state == SEG_FULL) & (self._seg_valid == 0)

@@ -104,7 +104,7 @@ class FlashGeometry:
 
     @staticmethod
     def scaled(mb: int = 64, channels: int = 2, dies_per_channel: int = 2,
-               pages_per_block: int = 64, page_size: int = 4096) -> "FlashGeometry":
+               pages_per_block: int = 64, page_size: int = 4096) -> FlashGeometry:
         """Convenience: a small geometry of roughly ``mb`` MiB.
 
         Used by tests and scaled benchmark runs; keeps the channel/die

@@ -9,7 +9,7 @@ and the RPS nosedives of Figure 4.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.flash.geometry import FlashGeometry, NandTiming
 from repro.sim import Environment, Resource

@@ -35,7 +35,7 @@ class WearReport:
     #: host bytes writable before any segment exceeds ``endurance_cycles``
     remaining_host_bytes: float
 
-    def lifetime_multiplier(self, other: "WearReport") -> float:
+    def lifetime_multiplier(self, other: WearReport) -> float:
         """How much longer this device lasts vs ``other`` at equal load
         (ratio of their write costs, the paper's lifespan argument)."""
         if self.write_cost == 0:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.sim import Environment
 from repro.sim.stats import Counter
@@ -49,7 +49,7 @@ class ExpiryConfig:
 class ExpiryTable:
     """TTL deadlines with a heap for the active cycle."""
 
-    def __init__(self, env: Environment, config: Optional[ExpiryConfig] = None):
+    def __init__(self, env: Environment, config: ExpiryConfig | None = None):
         self.env = env
         self.config = config or ExpiryConfig()
         self._deadline: dict[bytes, float] = {}
@@ -71,7 +71,7 @@ class ExpiryTable:
         """Remove the TTL (Redis PERSIST); True if one existed."""
         return self._deadline.pop(key, None) is not None
 
-    def ttl(self, key: bytes) -> Optional[float]:
+    def ttl(self, key: bytes) -> float | None:
         """Remaining lifetime, None if no TTL set, 0 if already due."""
         deadline = self._deadline.get(key)
         if deadline is None:

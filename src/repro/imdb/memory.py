@@ -26,7 +26,7 @@ The model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from collections.abc import Generator
 
 import numpy as np
 

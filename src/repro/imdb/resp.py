@@ -14,7 +14,6 @@ more bytes" instead of failing on a partial buffer.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 from repro.imdb.server import ClientOp
 
@@ -29,8 +28,6 @@ __all__ = [
 ]
 
 CRLF = b"\r\n"
-
-RespValue = Union[None, int, bytes, str, list, "RespError"]
 
 
 class ProtocolError(Exception):
@@ -53,6 +50,9 @@ class RespError:
 
     def __repr__(self) -> str:
         return f"RespError({self.message!r})"
+
+
+RespValue = None | int | bytes | str | list | RespError
 
 
 def encode(value: RespValue) -> bytes:
@@ -108,11 +108,11 @@ class RespParser:
         return True, value
 
     # -- internals ---------------------------------------------------------
-    def _line_end(self, pos: int) -> Optional[int]:
+    def _line_end(self, pos: int) -> int | None:
         idx = self._buf.find(CRLF, pos)
         return None if idx < 0 else idx
 
-    def _parse_at(self, pos: int) -> Optional[tuple[RespValue, int]]:
+    def _parse_at(self, pos: int) -> tuple[RespValue, int] | None:
         if pos >= len(self._buf):
             return None
         kind = self._buf[pos:pos + 1]

@@ -23,7 +23,7 @@ time-weighted memory footprint including CoW growth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 from repro.imdb.expiry import ExpiryConfig, ExpiryTable
 from repro.imdb.memory import CowMemory, ForkModel
@@ -59,7 +59,7 @@ class ClientOp:
     op: str  # "SET" | "GET" | "DEL"
     key: bytes
     value: bytes = b""
-    ttl: Optional[float] = None
+    ttl: float | None = None
 
     def __post_init__(self) -> None:
         if self.op not in ("SET", "GET", "DEL"):
@@ -78,7 +78,7 @@ class ServerConfig:
     get_cpu: float = 5.0 * US
     del_cpu: float = 6.0 * US
     #: WAL size that triggers a WAL-Snapshot (None = never)
-    wal_snapshot_trigger_bytes: Optional[int] = None
+    wal_snapshot_trigger_bytes: int | None = None
     #: AOF buffer size that forces the main-thread write() even when
     #: the event loop is busy (one write per loop iteration in Redis)
     wal_write_batch_bytes: int = 128 * 1024
@@ -116,7 +116,7 @@ class ServerMetrics:
     def in_snapshot(self, t: float) -> bool:
         return any(t0 <= t <= t1 for t0, t1 in self.snapshot_windows)
 
-    def phase_rps(self, t_end: Optional[float] = None) -> dict[str, float]:
+    def phase_rps(self, t_end: float | None = None) -> dict[str, float]:
         """Mean RPS inside vs outside snapshot windows."""
         import numpy as np
 
@@ -153,11 +153,11 @@ class Server:
         self,
         env: Environment,
         store: KVStore,
-        wal: Optional[WalManager],
-        snapshot_sink_factory: Optional[Callable[[SnapshotKind], SnapshotSink]],
-        config: Optional[ServerConfig] = None,
-        compressor: Optional[Compressor] = None,
-        compression_model: Optional[CompressionModel] = None,
+        wal: WalManager | None,
+        snapshot_sink_factory: Callable[[SnapshotKind], SnapshotSink] | None,
+        config: ServerConfig | None = None,
+        compressor: Compressor | None = None,
+        compression_model: CompressionModel | None = None,
         name: str = "imdb",
     ):
         self.env = env
@@ -298,7 +298,7 @@ class Server:
             yield from self.cow.touch(pages[0], pages[1], self.account)
         return seq
 
-    def start_expiry_cycle(self, config: Optional[ExpiryConfig] = None):
+    def start_expiry_cycle(self, config: ExpiryConfig | None = None):
         """Run Redis's active expiration cycle in the background."""
         if self._expiry_proc is not None:
             return self._expiry_proc

@@ -13,7 +13,7 @@ headers — collapsed into one constant).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 __all__ = ["KVStore"]
 
@@ -44,7 +44,7 @@ class KVStore:
     def __contains__(self, key: bytes) -> bool:
         return key in self._data
 
-    def get(self, key: bytes) -> Optional[bytes]:
+    def get(self, key: bytes) -> bytes | None:
         return self._data.get(key)
 
     def _entry_pages(self, key: bytes, value: bytes) -> int:
@@ -85,7 +85,7 @@ class KVStore:
         self._pages.pop(key)
         return True
 
-    def pages_of(self, key: bytes) -> Optional[tuple[int, int]]:
+    def pages_of(self, key: bytes) -> tuple[int, int] | None:
         return self._pages.get(key)
 
     # ------------------------------------------------------------------ metrics

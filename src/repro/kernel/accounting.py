@@ -10,7 +10,7 @@ component label ("syscall", "copy", "fs", "pagecache", "block",
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.sim import Environment
 from repro.sim.stats import Counter

@@ -16,7 +16,7 @@ layer entirely.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.costs import KernelCosts
 from repro.nvme import NvmeCommand, NvmeDevice
@@ -43,7 +43,7 @@ class BlockLayer:
         self,
         env: Environment,
         device: NvmeDevice,
-        costs: Optional[KernelCosts] = None,
+        costs: KernelCosts | None = None,
         scheduler: str = SCHED_NONE,
         inflight_limit: int = 32,
         write_deadline: float = 5e-3,

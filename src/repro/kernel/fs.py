@@ -26,7 +26,7 @@ each call pays syscall overhead and is charged to the calling process's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.blocklayer import BlockLayer
@@ -120,8 +120,8 @@ class Filesystem:
         self,
         env: Environment,
         block_layer: BlockLayer,
-        pagecache: Optional[PageCache] = None,
-        costs: Optional[KernelCosts] = None,
+        pagecache: PageCache | None = None,
+        costs: KernelCosts | None = None,
         extent_pages: int = 1024,
     ):
         self.env = env
@@ -162,7 +162,7 @@ class Filesystem:
         )
 
     # ------------------------------------------------------------------ namespace
-    def create(self, name: str) -> "PosixFile":
+    def create(self, name: str) -> PosixFile:
         if name in self._files:
             raise FileExistsError(name)
         inode = Inode(file_id=self._next_id, name=name)
@@ -171,7 +171,7 @@ class Filesystem:
         self.cache.register_file(inode.file_id, inode.page_to_lba)
         return PosixFile(self, inode)
 
-    def open(self, name: str) -> "PosixFile":
+    def open(self, name: str) -> PosixFile:
         inode = self._files.get(name)
         if inode is None:
             raise FileNotFoundError(name)
@@ -350,7 +350,7 @@ class PosixFile:
         offset: int,
         length: int,
         account: CpuAccount,
-        readahead: Optional[int] = None,
+        readahead: int | None = None,
     ) -> Generator:
         fs = self.fs
         yield from account.charge("syscall", fs.costs.syscall_overhead)

@@ -18,7 +18,7 @@ isolation.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.costs import KernelCosts
@@ -36,7 +36,7 @@ class IoUringRing:
         self,
         env: Environment,
         device: NvmeDevice,
-        costs: Optional[KernelCosts] = None,
+        costs: KernelCosts | None = None,
         sqpoll: bool = True,
         depth: int = 128,
         name: str = "ring",

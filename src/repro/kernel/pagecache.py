@@ -13,7 +13,7 @@ resolver callback registered per file.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from collections.abc import Callable, Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.blocklayer import BlockLayer
@@ -35,7 +35,7 @@ class PageCache:
         self,
         env: Environment,
         block_layer: BlockLayer,
-        costs: Optional[KernelCosts] = None,
+        costs: KernelCosts | None = None,
         page_size: int = 4096,
         dirty_limit_bytes: int = 8 * 1024 * 1024,
         background_ratio: float = 0.5,
@@ -65,7 +65,7 @@ class PageCache:
         self._dirty: set[tuple[int, int]] = set()
         self._resolvers: dict[int, Resolver] = {}
         self._throttled: list[Event] = []
-        self._wb_kick: Optional[Event] = None
+        self._wb_kick: Event | None = None
         self.counters = Counter()
         self.obs = None
         env.process(self._writeback_loop(), name="writeback")
@@ -197,7 +197,7 @@ class PageCache:
         offset: int,
         length: int,
         account: CpuAccount,
-        readahead: Optional[int] = None,
+        readahead: int | None = None,
     ) -> Generator:
         """Read through the cache; misses fetch with readahead."""
         resolver = self._resolvers.get(file_id)
@@ -261,7 +261,7 @@ class PageCache:
         return bytes(out)
 
     # ------------------------------------------------------------------ flush
-    def _dirty_runs(self, file_id: Optional[int], limit: int):
+    def _dirty_runs(self, file_id: int | None, limit: int):
         """Dirty (file, start, len) runs to flush.
 
         Runs are capped at ``writeback_run_pages`` and interleaved

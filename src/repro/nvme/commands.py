@@ -13,7 +13,6 @@ device it selects the Reclaim-Unit stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 __all__ = ["NvmeCommand", "ReadCmd", "WriteCmd", "DeallocateCmd"]
 
@@ -45,7 +44,7 @@ class WriteCmd(NvmeCommand):
     pressure generators); the device then stores a zero page.
     """
 
-    data: Optional[bytes] = None
+    data: bytes | None = None
     pid: int = 0  # FDP placement identifier
 
     def __post_init__(self) -> None:

@@ -17,7 +17,7 @@ FDP vs conventional is a construction-time choice:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.flash import FlashGeometry, FlashTranslationLayer, FtlConfig, NandTiming
 from repro.nvme.commands import DeallocateCmd, NvmeCommand, ReadCmd, WriteCmd
@@ -54,9 +54,9 @@ class NvmeDevice:
     def __init__(
         self,
         env: Environment,
-        geometry: Optional[FlashGeometry] = None,
-        timing: Optional[NandTiming] = None,
-        ftl_config: Optional[FtlConfig] = None,
+        geometry: FlashGeometry | None = None,
+        timing: NandTiming | None = None,
+        ftl_config: FtlConfig | None = None,
         fdp: bool = False,
         num_pids: int = 8,
     ):

@@ -16,7 +16,7 @@ the cross-tenant interference the cluster experiments measure.
 from __future__ import annotations
 
 import dataclasses
-from typing import Generator
+from collections.abc import Generator
 
 from repro.nvme.commands import DeallocateCmd, NvmeCommand, ReadCmd, WriteCmd
 from repro.nvme.device import NvmeDevice

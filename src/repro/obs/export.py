@@ -20,7 +20,7 @@ trace-event spec.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.obs.registry import MetricsRegistry, render_metric_name
 

@@ -210,7 +210,7 @@ class MetricsRegistry:
         """All instruments in registration order."""
         return list(self._instruments.values())
 
-    def labeled(self, **labels) -> "LabeledRegistry":
+    def labeled(self, **labels) -> LabeledRegistry:
         """A view of this registry that stamps ``labels`` on everything.
 
         Multi-tenant deployments attach one view per tenant (e.g.
@@ -331,7 +331,7 @@ class LabeledRegistry:
     def event(self, name: str, **fields) -> None:
         self.base.event(name, **self._merge(fields))
 
-    def labeled(self, **labels) -> "LabeledRegistry":
+    def labeled(self, **labels) -> LabeledRegistry:
         return LabeledRegistry(self, labels)
 
 

@@ -20,7 +20,7 @@ context manager and touches nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.registry import MetricsRegistry
@@ -49,16 +49,16 @@ class Span:
 
     __slots__ = ("registry", "name", "track", "labels", "t0", "t1")
 
-    def __init__(self, registry: "MetricsRegistry", name: str, track: str,
+    def __init__(self, registry: MetricsRegistry, name: str, track: str,
                  labels: dict):
         self.registry = registry
         self.name = name
         self.track = track
         self.labels = labels
-        self.t0: Optional[float] = None
-        self.t1: Optional[float] = None
+        self.t0: float | None = None
+        self.t1: float | None = None
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         self.t0 = self.registry.env.now
         self.registry.tracer.emit(self.track, f"{self.name}:begin",
                                   self.labels or None)
@@ -83,7 +83,7 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -93,7 +93,7 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-def maybe_span(registry: Optional["MetricsRegistry"], name: str,
+def maybe_span(registry: MetricsRegistry | None, name: str,
                track: str = "main", **labels):
     """A span on ``registry``, or a no-op when none is attached."""
     if registry is None:

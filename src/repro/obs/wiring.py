@@ -10,7 +10,6 @@ their creation sites via ``getattr(system, "obs", None)``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.obs.registry import MetricsRegistry
 
@@ -29,7 +28,7 @@ _COMPONENT_ATTRS = (
 )
 
 
-def attach_registry(system, registry: Optional[MetricsRegistry] = None,
+def attach_registry(system, registry: MetricsRegistry | None = None,
                     include_device: bool = True) -> MetricsRegistry:
     """Wire a registry through ``system``; returns the registry.
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.persist.compress import Compressor
 
@@ -123,7 +123,7 @@ class AofCodec:
 class RdbWriter:
     """Incremental snapshot encoder: header, chunks, footer."""
 
-    def __init__(self, compressor: Optional[Compressor] = None):
+    def __init__(self, compressor: Compressor | None = None):
         self.compressor = compressor or Compressor()
         self._entries = 0
         self._chunks = 0
@@ -172,7 +172,7 @@ class RdbWriter:
 class RdbReader:
     """Validating snapshot decoder."""
 
-    def __init__(self, compressor: Optional[Compressor] = None):
+    def __init__(self, compressor: Compressor | None = None):
         self.compressor = compressor or Compressor()
 
     def read_all(self, data: bytes) -> list[tuple[bytes, bytes]]:

@@ -9,7 +9,7 @@ page cache.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.fs import Filesystem, PosixFile
@@ -91,7 +91,7 @@ class FileSnapshotSink(SnapshotSink):
         self.target_name = name
         self.write_buffer_bytes = write_buffer_bytes
         self._seq = 0
-        self._tmp: Optional[PosixFile] = None
+        self._tmp: PosixFile | None = None
         self._written = 0
         self._buf = bytearray()
 
@@ -140,7 +140,7 @@ class FileSnapshotSource(SnapshotSource):
     """Sequential page-cache reads of a published snapshot file."""
 
     def __init__(self, fs: Filesystem, name: str = "dump.rdb",
-                 readahead_pages: Optional[int] = None):
+                 readahead_pages: int | None = None):
         self.fs = fs
         self.name = name
         self.readahead_pages = readahead_pages

@@ -10,7 +10,7 @@ calling process's :class:`~repro.kernel.accounting.CpuAccount`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generator
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 

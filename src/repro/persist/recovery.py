@@ -13,7 +13,7 @@ through its passthru read-ahead buffer — same bytes, different cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.obs.spans import maybe_span
@@ -46,11 +46,11 @@ class RecoveryResult:
 
 def recover_store(
     env: Environment,
-    source: Optional[SnapshotSource],
-    wal_sink: Optional[AppendSink],
+    source: SnapshotSource | None,
+    wal_sink: AppendSink | None,
     account: CpuAccount,
-    compressor: Optional[Compressor] = None,
-    compression_model: Optional[CompressionModel] = None,
+    compressor: Compressor | None = None,
+    compression_model: CompressionModel | None = None,
     read_chunk_bytes: int = 1024 * 1024,
     obs=None,
 ) -> Generator:

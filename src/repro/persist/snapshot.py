@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Generator, Optional, Sequence
+from collections.abc import Generator, Sequence
 
 from repro.kernel.accounting import CpuAccount
 from repro.obs.spans import maybe_span
@@ -99,11 +99,11 @@ class SnapshotWriterProcess:
         items: Sequence[tuple[bytes, bytes]],
         sink: SnapshotSink,
         kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
-        compressor: Optional[Compressor] = None,
-        cpu_model: Optional[SnapshotCpuModel] = None,
-        compression_model: Optional[CompressionModel] = None,
+        compressor: Compressor | None = None,
+        cpu_model: SnapshotCpuModel | None = None,
+        compression_model: CompressionModel | None = None,
         chunk_entries: int = 128,
-        account: Optional[CpuAccount] = None,
+        account: CpuAccount | None = None,
         pipeline_depth: int = 8,
         obs=None,
     ):

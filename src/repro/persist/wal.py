@@ -27,7 +27,7 @@ at the fork instant; the old generation replays until
 from __future__ import annotations
 
 import enum
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.kernel.accounting import CpuAccount
 from repro.obs.spans import maybe_span
@@ -74,7 +74,7 @@ class WalManager:
         self._durable_seq = 0  # last record known durable
         self._sink_lock = Resource(env, capacity=1)
         self._idle_drain_active = False
-        self._flush_kick: Optional[Event] = None
+        self._flush_kick: Event | None = None
         self._capacity_waiters: list[Event] = []
         self._closing = False
         self.counters = Counter()

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Generator, Iterable
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 __all__ = [
     "SimulationError",
@@ -73,11 +74,11 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_exc", "_state", "_defused")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: Environment):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = None
-        self._exc: Optional[BaseException] = None
+        self._exc: BaseException | None = None
         self._state = _PENDING
         self._defused = False
 
@@ -106,7 +107,7 @@ class Event:
         return self._value
 
     # -- triggering --------------------------------------------------------
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Trigger the event successfully with ``value``."""
         if self._state != _PENDING:
             raise SimulationError(f"{self!r} already triggered")
@@ -115,7 +116,7 @@ class Event:
         self.env._schedule(self)
         return self
 
-    def fail(self, exc: BaseException) -> "Event":
+    def fail(self, exc: BaseException) -> Event:
         """Trigger the event with an exception.
 
         A failed event that nobody waits on raises at the end of the
@@ -150,7 +151,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: Environment, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
@@ -165,7 +166,7 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(self, env: Environment, process: Process):
         super().__init__(env)
         self.callbacks.append(process._resume)  # type: ignore[union-attr]
         self._value = None
@@ -186,15 +187,15 @@ class Process(Event):
 
     def __init__(
         self,
-        env: "Environment",
+        env: Environment,
         generator: Generator[Event, Any, Any],
-        name: Optional[str] = None,
+        name: str | None = None,
     ):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = None
+        self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         Initialize(env, self)
 
@@ -299,7 +300,7 @@ class _Condition(Event):
 
     __slots__ = ("_events", "_fired_count")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: Environment, events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
         self._fired_count = 0
@@ -363,7 +364,7 @@ class Environment:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
-        self._active: Optional[Process] = None
+        self._active: Process | None = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -371,7 +372,7 @@ class Environment:
         return self._now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         return self._active
 
     # -- event factories ----------------------------------------------------
@@ -381,7 +382,7 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+    def process(self, generator: Generator, name: str | None = None) -> Process:
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

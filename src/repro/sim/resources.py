@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.sim.engine import Environment, Event
 
@@ -35,7 +35,7 @@ class Request(Event):
 
     __slots__ = ("resource", "priority", "_key")
 
-    def __init__(self, resource: "Resource", priority: float = 0.0):
+    def __init__(self, resource: Resource, priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
@@ -72,7 +72,7 @@ class Resource:
     def _enqueue(self, request: Request) -> None:
         self._queue.append(request)
 
-    def _dequeue(self) -> Optional[Request]:
+    def _dequeue(self) -> Request | None:
         return self._queue.popleft() if self._queue else None
 
     def _remove(self, request: Request) -> None:
@@ -125,7 +125,7 @@ class PriorityResource(Resource):
     def _enqueue(self, request: Request) -> None:
         heapq.heappush(self._pqueue, (request._key, request))
 
-    def _dequeue(self) -> Optional[Request]:
+    def _dequeue(self) -> Request | None:
         if self._pqueue:
             _key, req = heapq.heappop(self._pqueue)
             return req
@@ -189,7 +189,7 @@ class Lock(Resource):
 class StorePut(Event):
     __slots__ = ("item",)
 
-    def __init__(self, store: "Store", item: Any):
+    def __init__(self, store: Store, item: Any):
         super().__init__(store.env)
         self.item = item
         store._puts.append(self)
@@ -199,7 +199,7 @@ class StorePut(Event):
 class StoreGet(Event):
     __slots__ = ()
 
-    def __init__(self, store: "Store"):
+    def __init__(self, store: Store):
         super().__init__(store.env)
         store._gets.append(self)
         store._trigger()

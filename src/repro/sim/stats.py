@@ -7,7 +7,7 @@ the run and converted to arrays once at analysis time.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class TimeWeighted:
     def add(self, t: float, delta: float) -> None:
         self.update(t, self._value + delta)
 
-    def mean(self, t_end: Optional[float] = None) -> float:
+    def mean(self, t_end: float | None = None) -> float:
         t = self._last_t if t_end is None else t_end
         if t < self._last_t:
             raise ValueError("t_end before last update")
@@ -201,7 +201,7 @@ class IntervalRate:
         return float(np.sum(self._w)) if self._w else 0.0
 
     def rate(
-        self, bin_width: float, t0: Optional[float] = None, t1: Optional[float] = None
+        self, bin_width: float, t0: float | None = None, t1: float | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         if bin_width <= 0:
             raise ValueError("bin_width must be positive")
@@ -226,7 +226,7 @@ class IntervalRate:
         centers = (edges[:-1] + edges[1:]) / 2.0
         return centers, counts / bin_width
 
-    def mean_rate(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+    def mean_rate(self, t0: float | None = None, t1: float | None = None) -> float:
         """Average events per time unit over [t0, t1]."""
         if not self._t:
             return 0.0

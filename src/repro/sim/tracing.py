@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.sim.engine import Environment
 
@@ -40,7 +40,7 @@ class Tracer:
     """
 
     def __init__(self, env: Environment, enabled: bool = True,
-                 capacity: Optional[int] = None):
+                 capacity: int | None = None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
@@ -64,7 +64,7 @@ class Tracer:
     def __len__(self) -> int:
         return len(self._records)
 
-    def records(self, component: Optional[str] = None,
+    def records(self, component: str | None = None,
                 since: float = 0.0) -> list[TraceRecord]:
         return [
             r for r in self._records
@@ -75,7 +75,7 @@ class Tracer:
     def components(self) -> set[str]:
         return {r.component for r in self._records}
 
-    def render(self, component: Optional[str] = None, last: int = 0) -> str:
+    def render(self, component: str | None = None, last: int = 0) -> str:
         recs = self.records(component)
         if last:
             recs = recs[-last:]

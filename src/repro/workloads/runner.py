@@ -9,7 +9,6 @@ summarizes everything the paper's tables read off a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -39,7 +38,7 @@ class WorkloadReport:
     snapshot_count: int = 0
     waf: float = 1.0
     gc_segments_erased: int = 0
-    timeline: Optional[tuple[np.ndarray, np.ndarray]] = None
+    timeline: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def mean_snapshot_time(self) -> float:
@@ -61,7 +60,7 @@ class ClosedLoopWorkload:
         seed: int = 7,
         key_width: int = 8,
         preload_records: int = 0,
-        snapshot_at_fraction: Optional[float] = None,
+        snapshot_at_fraction: float | None = None,
         incompressible_fraction: float = 0.6,
     ):
         if clients < 1 or total_ops < 1:

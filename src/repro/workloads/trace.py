@@ -15,7 +15,7 @@ Format (one op per line, binary-safe via hex):
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.imdb import ClientOp
 
@@ -75,7 +75,7 @@ class TraceWorkload:
         self.clients = clients
 
     @classmethod
-    def from_file(cls, path: str | Path, clients: int = 8) -> "TraceWorkload":
+    def from_file(cls, path: str | Path, clients: int = 8) -> TraceWorkload:
         return cls(load_trace(path), clients=clients)
 
     def run(self, system) -> dict[str, float]:

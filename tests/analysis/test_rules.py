@@ -1,0 +1,151 @@
+"""slimlint rule units: each rule catches its seeded violation and
+stays quiet on the sanctioned equivalent."""
+
+from repro.analysis import lint_source
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+# ------------------------------------------------------------------ SLIM001
+def test_slim001_direct_device_access_outside_kernel():
+    src = "def f(device, cmd):\n    yield from device.submit(cmd)\n"
+    assert codes(lint_source(src, package="imdb")) == ["SLIM001"]
+    # the kernel and nvme layers own the device handle
+    assert lint_source(src, package="kernel").ok
+    assert lint_source(src, package="nvme").ok
+
+
+def test_slim001_peek_and_suffixed_receivers():
+    src = "x = raw_device.peek(0, 1)\n"
+    assert codes(lint_source(src, package="core")) == ["SLIM001"]
+
+
+def test_slim001_line_pragma_suppresses():
+    src = ("def f(device, cmd):\n"
+           "    yield from device.submit(cmd)"
+           "  # slimlint: ignore[SLIM001]\n")
+    result = lint_source(src, package="imdb")
+    assert result.ok
+    assert result.suppressed == 1
+
+
+# ------------------------------------------------------------------ SLIM002
+def test_slim002_pid_literal_outside_placement():
+    src = "w = WriteCmd(lba=0, nlb=1, data=b'', pid=3)\n"
+    result = lint_source(src, path="src/repro/core/engine.py",
+                         package="core")
+    assert "SLIM002" in codes(result)
+    # the two sanctioned homes for PID numerology
+    assert lint_source(src, path="src/repro/core/placement.py",
+                       package="core").ok
+    assert lint_source(src, path="src/repro/cluster/pids.py",
+                       package="cluster").ok
+
+
+def test_slim002_symbolic_pid_is_fine():
+    src = "w = WriteCmd(lba=0, nlb=1, data=b'', pid=policy.wal_pid)\n"
+    assert lint_source(src, package="core").ok
+
+
+# ------------------------------------------------------------------ SLIM003
+def test_slim003_wall_clock_and_unseeded_random():
+    assert codes(lint_source("import time\nt = time.time()\n",
+                             package="bench")) == ["SLIM003"]
+    assert codes(lint_source("import random\nx = random.random()\n",
+                             package="workloads")) == ["SLIM003"]
+    assert codes(lint_source("import random\nr = random.Random()\n",
+                             package="workloads")) == ["SLIM003"]
+
+
+def test_slim003_perf_counter_and_seeded_rng_allowed():
+    assert lint_source("import time\nt = time.perf_counter()\n",
+                       package="bench").ok
+    assert lint_source("import random\nr = random.Random(42)\n",
+                       package="workloads").ok
+
+
+# ------------------------------------------------------------------ SLIM004
+def test_slim004_layering_inversion():
+    src = "from repro.bench import scales\n"
+    result = lint_source(src, package="core")
+    assert codes(result) == ["SLIM004"]
+
+
+def test_slim004_downward_import_and_tests_exempt():
+    assert lint_source("from repro.kernel import iouring\n",
+                       package="core").ok
+    # tests may import anything
+    assert lint_source("from repro.bench import scales\n",
+                       package="core", is_test=True, is_src=False).ok
+
+
+# ------------------------------------------------------------------ SLIM005
+def test_slim005_metric_naming():
+    assert codes(lint_source('c = registry.counter("foo")\n',
+                             package="obs")) == ["SLIM005"]
+    assert codes(lint_source('h = registry.histogram("lat")\n',
+                             package="obs")) == ["SLIM005"]
+    assert codes(lint_source('g = registry.gauge("x_total")\n',
+                             package="obs")) == ["SLIM005"]
+
+
+def test_slim005_conforming_names_pass():
+    src = ('c = registry.counter("wal_flushes_total")\n'
+           'h = registry.histogram("flush_seconds")\n'
+           'g = registry.gauge("inflight_batches")\n')
+    assert lint_source(src, package="obs").ok
+
+
+# ------------------------------------------------------------------ SLIM006
+def test_slim006_ftl_internals_off_limits():
+    src = "n = system.ftl.counters\n"
+    assert codes(lint_source(src, package="core")) == ["SLIM006"]
+    # the flash layer owns its own internals
+    assert lint_source(src, package="flash").ok
+    # the published surface is fine anywhere
+    assert lint_source("s = system.ftl.stats\n", package="core").ok
+
+
+# ------------------------------------------------------------------ SLIM007
+def test_slim007_untagged_write():
+    src = "w = WriteCmd(lba=0, nlb=1, data=b'')\n"
+    assert codes(lint_source(src, package="core")) == ["SLIM007"]
+    # tagged (symbolically) is the sanctioned form
+    assert lint_source(
+        "w = WriteCmd(lba=0, nlb=1, data=b'', pid=policy.wal_pid)\n",
+        package="core").ok
+    # layers below the placement policy have no PID to carry
+    assert lint_source(src, package="flash").ok
+
+
+# ------------------------------------------------------------------ SLIM008
+def test_slim008_lba_bookkeeping_writes():
+    src = "slots.roles = []\n"
+    assert codes(lint_source(src, package="imdb")) == ["SLIM008"]
+    assert lint_source(src, package="core").ok
+
+
+# ------------------------------------------------------------------ pragmas
+def test_file_pragma_suppresses_everywhere():
+    src = ("# slimlint: ignore-file[SLIM003]\n"
+           "import time\n"
+           "a = time.time()\n"
+           "b = time.time()\n")
+    result = lint_source(src, package="bench")
+    assert result.ok
+    assert result.suppressed == 2
+
+
+def test_pragma_is_rule_scoped():
+    # an ignore for one rule must not silence another
+    src = ("import time\n"
+           "t = time.time()  # slimlint: ignore[SLIM001]\n")
+    assert codes(lint_source(src, package="bench")) == ["SLIM003"]
+
+
+def test_syntax_error_is_reported_not_crashed():
+    result = lint_source("def broken(:\n", package="core")
+    assert not result.ok
+    assert result.errors and "syntax error" in result.errors[0]

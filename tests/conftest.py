@@ -1,0 +1,42 @@
+"""Repo-wide fixtures: sanitizer-enabled system builders.
+
+Any test can take ``sanitized_slimio`` (or ``sanitized_cluster``) to
+stand up a system with the :mod:`repro.analysis` runtime sanitizers
+active — every device command is validated against the §4.2 contract
+and fork-snapshot races are detected, so an invariant regression fails
+the test that provoked it instead of silently skewing WAF.
+"""
+
+import pytest
+
+from repro.core.engine import SystemConfig, build_slimio
+from repro.sim import Environment
+
+
+@pytest.fixture
+def sanitized_slimio():
+    """Factory: ``build_slimio`` with ``sanitize=True`` baked in."""
+
+    def build(env=None, config=None, **overrides):
+        overrides.setdefault("sanitize", True)
+        return build_slimio(env or Environment(), config, **overrides)
+
+    return build
+
+
+@pytest.fixture
+def sanitized_cluster():
+    """Factory: a SlimIO cluster whose shards all run sanitized."""
+
+    def build(env=None, **kw):
+        from repro.cluster.engine import ClusterConfig, SlimIOCluster
+
+        system = kw.pop("system", None) or SystemConfig(sanitize=True)
+        if not system.sanitize:
+            from dataclasses import replace
+
+            system = replace(system, sanitize=True)
+        cfg = ClusterConfig(system=system, **kw)
+        return SlimIOCluster(env or Environment(), cfg)
+
+    return build

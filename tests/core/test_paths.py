@@ -133,8 +133,8 @@ def test_wal_generation_switch_and_retire(world):
     recs = list(AofCodec.decode_stream(data))
     assert [r.key for r in recs] == [b"new"]
     assert wal.size > 0
-    # old generation pages were TRIMmed
-    assert dev.ftl.counters["deallocated_pages"] >= 2
+    # old generation pages were TRIMmed (white-box FTL assertion)
+    assert dev.ftl.counters["deallocated_pages"] >= 2  # slimlint: ignore[SLIM006]
 
 
 def test_wal_writes_carry_wal_pid(world):
@@ -147,9 +147,10 @@ def test_wal_writes_carry_wal_pid(world):
 
     drive(env, proc())
     lba = space.wal.vpn_to_lba(0)
-    ppn = dev.ftl.mapped_ppn(lba)
+    # white-box: the test asserts which FTL stream the write landed in
+    ppn = dev.ftl.mapped_ppn(lba)  # slimlint: ignore[SLIM006]
     seg = dev.geometry.segment_of_page(ppn)
-    assert dev.ftl.segment_stream(seg) == wal.placement.wal_pid
+    assert dev.ftl.segment_stream(seg) == wal.placement.wal_pid  # slimlint: ignore[SLIM006]
 
 
 def snapshot_through_path(env, ring, space, meta, kind, items,
@@ -181,9 +182,10 @@ def test_snapshot_path_writes_carry_kind_pid(world):
                                     SnapshotKind.WAL_TRIGGERED, items)
     slot = space.slots.slot_of(SlotRole.WAL_SNAPSHOT)
     base, _ = space.slot_extent(slot)
-    ppn = dev.ftl.mapped_ppn(base)
+    # white-box: the test asserts which FTL stream the write landed in
+    ppn = dev.ftl.mapped_ppn(base)  # slimlint: ignore[SLIM006]
     seg = dev.geometry.segment_of_page(ppn)
-    assert dev.ftl.segment_stream(seg) == sink.placement.wal_snapshot_pid
+    assert dev.ftl.segment_stream(seg) == sink.placement.wal_snapshot_pid  # slimlint: ignore[SLIM006]
 
 
 def test_snapshot_promotion_retires_old_slot(world):
@@ -259,7 +261,10 @@ def test_readahead_buffer_sequential_read(world):
     payload = bytes(range(256)) * (page // 256) * 8
 
     def seed():
-        yield from dev.submit(WriteCmd(lba=100, nlb=8, data=payload))
+        # raw seeding of device state for the read-side fixture
+        yield from dev.submit(  # slimlint: ignore[SLIM001]
+            WriteCmd(lba=100, nlb=8, data=payload)  # slimlint: ignore[SLIM007]
+        )
 
     drive(env, seed())
     ra = ReadAheadBuffer(ring, base_lba=100, npages=8, window_pages=4,

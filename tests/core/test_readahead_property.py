@@ -28,7 +28,10 @@ def seeded_world():
     )
 
     def seed():
-        yield from dev.submit(WriteCmd(lba=5, nlb=NPAGES, data=payload))
+        # raw seeding of device state for the read-side fixture
+        yield from dev.submit(  # slimlint: ignore[SLIM001]
+            WriteCmd(lba=5, nlb=NPAGES, data=payload)  # slimlint: ignore[SLIM007]
+        )
 
     env.run(until=env.process(seed()))
     ring = PassthruQueuePair(env, dev, KernelCosts())

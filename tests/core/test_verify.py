@@ -84,7 +84,8 @@ def test_verify_detects_corrupt_snapshot_slot():
     base, _ = system.space.slot_extent(slot)
     # corrupt a byte INSIDE the published stream (it may be tiny)
     length = system.space.slots.lengths[slot]
-    page = bytearray(system.device.peek(base))
+    # fault injection: flip a byte directly in the stored page
+    page = bytearray(system.device.peek(base))  # slimlint: ignore[SLIM001]
     page[max(length // 2, 16)] ^= 0xFF
     system.device._data[base] = bytes(page)
     report = verify(system)

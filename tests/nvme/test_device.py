@@ -99,7 +99,8 @@ def test_deallocate_drops_data_and_mapping():
 def test_conventional_device_ignores_pid():
     env, dev = make_device(fdp=False)
     page = dev.lba_size
-    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=5))
+    # arbitrary PID on purpose: conventional devices must ignore it
+    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=5))  # slimlint: ignore[SLIM002]
     # single registered stream on conventional device
     assert dev.ftl.stream_ids == [0]
 
@@ -107,7 +108,8 @@ def test_conventional_device_ignores_pid():
 def test_fdp_device_routes_pid_to_stream():
     env, dev = make_device(fdp=True)
     page = dev.lba_size
-    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=3))
+    # arbitrary in-range PID: the test is the PID→stream routing itself
+    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=3))  # slimlint: ignore[SLIM002]
     ppn = dev.ftl.mapped_ppn(0)
     seg = dev.geometry.segment_of_page(ppn)
     assert dev.ftl.segment_stream(seg) == 3
@@ -116,7 +118,8 @@ def test_fdp_device_routes_pid_to_stream():
 def test_fdp_out_of_range_pid_falls_back_to_default():
     env, dev = make_device(fdp=True)
     page = dev.lba_size
-    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=99))
+    # deliberately out-of-range PID: the fallback is what's under test
+    submit(env, dev, WriteCmd(lba=0, nlb=1, data=bytes(page), pid=99))  # slimlint: ignore[SLIM002]
     ppn = dev.ftl.mapped_ppn(0)
     seg = dev.geometry.segment_of_page(ppn)
     assert dev.ftl.segment_stream(seg) == 0

@@ -1,4 +1,6 @@
 """Exporter tests: JSONL round-trip, Prometheus text, Chrome trace, CLI."""
+# slimlint: ignore-file[SLIM005] — toy instrument names exercise the
+# exporter machinery, not the production naming scheme
 
 import json
 
