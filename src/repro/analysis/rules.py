@@ -19,7 +19,11 @@ The rules (see docs/ANALYSIS.md for the full rationale):
   silently defeats lifetime separation when the policy changes.
 * **SLIM003** — no wall clock (``time.time``, ``datetime.now``) or
   unseeded randomness anywhere in the tree; the simulation must be
-  deterministic. ``time.perf_counter`` is allowed (measurement only).
+  deterministic. ``time.perf_counter`` is allowed only in the
+  designated measurement shells (``bench/__main__.py``,
+  ``bench/perf.py``) — the harness code that times the simulator from
+  outside; anywhere else it is a wall-clock leak into simulated
+  behavior.
 * **SLIM004** — package imports must respect the layering
   ``sim < obs < flash < nvme < kernel < persist < imdb < core <
   analysis < workloads < cluster < bench``; only module-level imports
@@ -202,6 +206,12 @@ _WALL_CLOCK = {
     ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
     ("date", "today"),
 }
+#: perf_counter is a wall clock too, but it is the sanctioned way to
+#: *measure* the simulator from outside. Only the measurement shells —
+#: the CLI that times regeneration and the perf harness — may call it;
+#: model code that needs "now" must use the Environment clock.
+_PERF_COUNTER = {("time", "perf_counter"), ("time", "perf_counter_ns")}
+_SLIM003_MEASUREMENT_FILES = ("bench/__main__.py", "bench/perf.py")
 _RANDOM_MODULE_FNS = {
     "random", "randint", "randrange", "uniform", "choice", "choices",
     "shuffle", "sample", "gauss", "betavariate", "expovariate", "seed",
@@ -234,6 +244,16 @@ def _check_determinism(tree: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
                 f"wall-clock call {head}.{tail}() — simulated code must "
                 f"be deterministic; use the Environment clock (env.now), "
                 f"or time.perf_counter for wall-time *measurement* only",
+            )
+        elif (head, tail) in _PERF_COUNTER and not any(
+                ctx.path.replace("\\", "/").endswith(f)
+                for f in _SLIM003_MEASUREMENT_FILES):
+            yield _find(
+                ctx, "SLIM003", node,
+                f"{head}.{tail}() outside the measurement shells "
+                f"({', '.join(_SLIM003_MEASUREMENT_FILES)}) — wall time "
+                f"must never influence simulated behavior; measure from "
+                f"the harness, model time with env.now",
             )
         elif head == "random" and tail in _RANDOM_MODULE_FNS:
             yield _find(

@@ -4,7 +4,14 @@ Usage::
 
     python -m repro.bench list
     python -m repro.bench table3 [--scale test|bench]
-    python -m repro.bench all [--scale test|bench]
+    python -m repro.bench all [--scale test|bench] [--jobs N]
+    python -m repro.bench perf [--out BENCH_perf.json]
+
+Reports are deterministic: the same tree, scale, and experiment set
+produce a byte-identical report file whatever ``--jobs`` is (wall-clock
+timings go to stderr, never into the report). That determinism is what
+makes the on-disk result cache (``out/cache/``) safe: a cached report
+is indistinguishable from a regenerated one.
 """
 
 from __future__ import annotations
@@ -15,23 +22,62 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro.bench import cache as result_cache
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.scales import get_scale
 
 
+def _run_experiment(name: str, scale_name: str,
+                    sanitize: bool) -> tuple[str, bool, float]:
+    """One experiment -> (report text, shapes ok, wall seconds).
+
+    Module-level so it pickles as a ``ProcessPoolExecutor`` work unit;
+    the scale is rebuilt from its name because Scale methods construct
+    unpicklable simulation objects lazily.
+    """
+    scale = get_scale(scale_name)
+    if sanitize:
+        scale = replace(scale, sanitize=True)
+    t0 = time.perf_counter()
+    result = EXPERIMENTS[name](scale)
+    elapsed = time.perf_counter() - t0
+    text = (f"{result.format()}\n\n(regenerated at scale "
+            f"'{scale.name}')\n")
+    return text, result.shapes_hold, elapsed
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perf":
+        from repro.bench.perf import main as perf_main
+
+        return perf_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the SlimIO paper's tables and figures.",
     )
-    parser.add_argument("experiment",
-                        help="experiment id (e.g. table3), 'all', or 'list'")
+    parser.add_argument("experiments", nargs="+", metavar="experiment",
+                        help="experiment ids (e.g. table3 figure4), "
+                             "'all', 'list', or 'perf'")
     parser.add_argument("--scale", default="bench",
                         help="scale preset: test | bench (default)")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file "
                              "(default: out/bench_<scale>_results.txt; "
                              "'-' disables the file)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run experiments in N parallel processes "
+                             "(report content is identical whatever N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute even on cache hit, then "
+                             "rewrite the cache entry")
+    parser.add_argument("--cache-dir",
+                        default=str(result_cache.DEFAULT_CACHE_DIR),
+                        help="result cache location (default: out/cache)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the repro.analysis runtime "
                              "sanitizers active on every SlimIO system "
@@ -39,33 +85,72 @@ def main(argv=None) -> int:
                              "promotion, and fork-race freedom)")
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
+    if args.experiments == ["list"]:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     scale = get_scale(args.scale)
     if args.sanitize:
         scale = replace(scale, sanitize=True)
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if "all" in args.experiments:
+        names = list(EXPERIMENTS)
+    else:
+        names = list(dict.fromkeys(args.experiments))  # dedupe, keep order
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
     out_path = args.out
     if out_path is None:
         out_path = f"out/bench_{scale.name}_results.txt"
+
+    # resolve cache hits first; only misses go to the worker pool
+    done: dict[str, tuple[str, bool]] = {}
+    keys: dict[str, str] = {}
+    if not args.no_cache:
+        for name in names:
+            keys[name] = result_cache.cache_key(name, scale)
+            if not args.refresh:
+                hit = result_cache.load(keys[name], args.cache_dir)
+                if hit is not None:
+                    done[name] = hit
+                    print(f"({name}: cache hit)", file=sys.stderr)
+    todo = [name for name in names if name not in done]
+
+    if len(todo) > 1 and args.jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = {name: pool.submit(_run_experiment, name,
+                                         scale.name, args.sanitize)
+                       for name in todo}
+            for name in todo:
+                text, ok, elapsed = futures[name].result()
+                done[name] = (text, ok)
+                print(f"({name}: {elapsed:.1f}s wall)", file=sys.stderr)
+    else:
+        for name in todo:
+            text, ok, elapsed = _run_experiment(name, scale.name,
+                                                args.sanitize)
+            done[name] = (text, ok)
+            print(f"({name}: {elapsed:.1f}s wall)", file=sys.stderr)
+
+    if not args.no_cache:
+        for name in todo:
+            text, ok = done[name]
+            result_cache.store(keys[name], name, text, ok, args.cache_dir)
+
     exit_code = 0
     chunks = []
-    for name in names:
-        fn = EXPERIMENTS.get(name)
-        if fn is None:
-            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
-            return 2
-        t0 = time.perf_counter()
-        result = fn(scale)
-        elapsed = time.perf_counter() - t0
-        text = (f"{result.format()}\n\n(regenerated in {elapsed:.1f}s "
-                f"wall at scale '{scale.name}')\n")
+    for name in names:  # EXPERIMENTS order — independent of finish order
+        text, ok = done[name]
         print(text)
         chunks.append(text)
-        if not result.shapes_hold:
+        if not ok:
             exit_code = 1
     if out_path != "-":
         path = Path(out_path)

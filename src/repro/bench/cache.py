@@ -1,0 +1,108 @@
+"""On-disk result cache for regenerated experiments.
+
+Every experiment is a pure function of (experiment name, scale
+configuration, source tree), so its report can be cached and replayed.
+The key digests all three inputs; any edit under ``src/repro`` — or any
+scale-field change — misses and recomputes, which keeps the cache
+impossible to poison by code drift.
+
+Entries are single JSON files under ``out/cache/`` carrying the exact
+report text, the shape-check verdict, and a self-checksum. A corrupt or
+truncated entry (interrupted write, disk mishap) fails validation and
+is deleted, so the caller transparently recomputes — the cache can only
+ever cost a miss, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+__all__ = ["DEFAULT_CACHE_DIR", "code_digest", "cache_key",
+           "load", "store"]
+
+DEFAULT_CACHE_DIR = Path("out/cache")
+
+#: bump to invalidate every existing entry on format changes
+_FORMAT_VERSION = 1
+
+_code_digest: str | None = None
+
+
+def code_digest() -> str:
+    """Digest of every ``src/repro/**/*.py`` file (path + content).
+
+    Computed once per process: the source tree cannot change under a
+    running harness, and hashing ~50 files per experiment would cost
+    more than some cache hits save.
+    """
+    global _code_digest
+    if _code_digest is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_digest = h.hexdigest()
+    return _code_digest
+
+
+def cache_key(experiment: str, scale) -> str:
+    """Digest identifying one (experiment, scale, source tree) cell."""
+    ident = {
+        "version": _FORMAT_VERSION,
+        "experiment": experiment,
+        "scale": asdict(scale),
+        "code": code_digest(),
+    }
+    blob = json.dumps(ident, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load(key: str, cache_dir: str | Path = DEFAULT_CACHE_DIR):
+    """Return the cached ``(report, shapes_hold)`` or None on miss.
+
+    A malformed entry — unparseable JSON, missing fields, or a report
+    whose checksum does not match — counts as a miss and is removed so
+    the recomputed result can take its place.
+    """
+    path = Path(cache_dir) / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        report = payload["report"]
+        shapes_hold = payload["shapes_hold"]
+        checksum = payload["sha256"]
+        if not isinstance(report, str) or not isinstance(shapes_hold, bool):
+            raise ValueError("wrong field types")
+        if hashlib.sha256(report.encode()).hexdigest() != checksum:
+            raise ValueError("checksum mismatch")
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        path.unlink(missing_ok=True)
+        return None
+    return report, shapes_hold
+
+
+def store(key: str, experiment: str, report: str, shapes_hold: bool,
+          cache_dir: str | Path = DEFAULT_CACHE_DIR) -> Path:
+    """Write one cache entry; returns its path."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{key}.json"
+    payload = {
+        "experiment": experiment,
+        "report": report,
+        "shapes_hold": bool(shapes_hold),
+        "sha256": hashlib.sha256(report.encode()).hexdigest(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    tmp.replace(path)
+    return path

@@ -659,7 +659,7 @@ def _cluster_config(scale: Scale, design: str, num_shards: int):
         pages_per_block=8,
     )
     ftl = FtlConfig(op_ratio=0.08, gc_trigger_segments=3,
-                    gc_stop_segments=6, gc_reserve_segments=2)
+                    gc_stop_segments=5, gc_reserve_segments=2)
     sys_cfg = scale.system_config(gc_pressure=True)
     sys_cfg = replace(
         sys_cfg,

@@ -1,0 +1,167 @@
+"""Perf regression harness: measure the simulator, record the trajectory.
+
+``python -m repro.bench perf`` runs the full experiment suite twice at
+one scale — once on the optimized fast lanes (``batched=True,
+fast_sim=True``) and once on the per-page reference path — and writes a
+JSON record with, per experiment:
+
+* wall seconds (machine- and load-dependent; interleave comparisons),
+* simulated events dispatched (deterministic: same code + scale →
+  same count, byte for byte),
+* events per second (the honest single-machine throughput figure).
+
+``perf --compare BASELINE CURRENT`` grades a fresh measurement against
+a committed one. It never fails the build — CI runners are too noisy
+for a wall-clock gate — but emits a GitHub ``::warning`` annotation
+when the suite wall regresses beyond ``--warn-factor``.
+
+The repo-root ``BENCH_perf.json`` is the committed trajectory. A
+``seed_baseline`` section (the pre-fast-lane tree measured interleaved
+on the same machine) is carried forward verbatim on regeneration so
+the before/after record survives any number of refreshes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.scales import get_scale
+from repro.sim.engine import track_environments, tracked_event_total
+
+__all__ = ["measure_suite", "main"]
+
+
+def measure_suite(scale) -> dict:
+    """Run every experiment once at ``scale``; per-experiment metrics."""
+    experiments = {}
+    total_wall = 0.0
+    total_events = 0
+    for name, fn in EXPERIMENTS.items():
+        track_environments(True)
+        t0 = time.perf_counter()
+        result = fn(scale)
+        wall = time.perf_counter() - t0
+        events = tracked_event_total()
+        track_environments(False)
+        experiments[name] = {
+            "wall_s": round(wall, 3),
+            "sim_events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else None,
+            "shapes_hold": result.shapes_hold,
+        }
+        total_wall += wall
+        total_events += events
+        print(f"  {name:<10s} {wall:7.2f}s  {events:>10d} events",
+              file=sys.stderr)
+    return {
+        "scale": scale.name,
+        "config": {"batched": scale.batched, "fast_sim": scale.fast_sim},
+        "experiments": experiments,
+        "total_wall_s": round(total_wall, 2),
+        "total_sim_events": total_events,
+        "events_per_sec": (round(total_events / total_wall)
+                           if total_wall > 0 else None),
+    }
+
+
+def _measure(scale_name: str, out_path: str, skip_reference: bool) -> int:
+    scale = get_scale(scale_name)
+    print(f"measuring optimized suite at scale '{scale.name}' ...",
+          file=sys.stderr)
+    optimized = measure_suite(
+        replace(scale, batched=True, fast_sim=True))
+    payload = {
+        "description": "SlimIO reproduction perf trajectory "
+                       "(see docs/PERFORMANCE.md)",
+        "optimized": optimized,
+    }
+    if not skip_reference:
+        print("measuring per-page reference path ...", file=sys.stderr)
+        reference = measure_suite(
+            replace(scale, batched=False, fast_sim=False))
+        payload["reference"] = reference
+        if reference["total_wall_s"]:
+            payload["speedup_vs_reference"] = round(
+                reference["total_wall_s"] / optimized["total_wall_s"], 2)
+
+    out = Path(out_path)
+    # the seed baseline was measured once on the pre-fast-lane tree and
+    # cannot be regenerated from this tree — carry it forward verbatim
+    try:
+        previous = json.loads(out.read_text())
+        if "seed_baseline" in previous:
+            payload["seed_baseline"] = previous["seed_baseline"]
+            seed_wall = previous["seed_baseline"].get("total_wall_s")
+            if seed_wall:
+                payload["speedup_vs_seed"] = round(
+                    seed_wall / optimized["total_wall_s"], 2)
+    except (OSError, ValueError):
+        pass
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"(perf record written to {out})", file=sys.stderr)
+    return 0
+
+
+def _compare(base_path: str, curr_path: str, warn_factor: float) -> int:
+    try:
+        base = json.loads(Path(base_path).read_text())
+        curr = json.loads(Path(curr_path).read_text())
+        base_wall = base["optimized"]["total_wall_s"]
+        curr_wall = curr["optimized"]["total_wall_s"]
+    except (OSError, ValueError, KeyError) as exc:
+        # a missing/unreadable record is not a perf regression
+        print(f"perf compare skipped: {exc}", file=sys.stderr)
+        return 0
+    factor = curr_wall / base_wall if base_wall else float("inf")
+    print(f"suite wall: baseline {base_wall:.2f}s, current "
+          f"{curr_wall:.2f}s ({factor:.2f}x)")
+    base_ev = base["optimized"].get("total_sim_events")
+    curr_ev = curr["optimized"].get("total_sim_events")
+    if base_ev and curr_ev and base_ev != curr_ev:
+        print(f"note: simulated event totals differ "
+              f"({base_ev} -> {curr_ev}); the model changed, so wall "
+              f"deltas are not pure overhead")
+    if factor > warn_factor:
+        # GitHub annotation; deliberately not a failure — runner noise
+        print(f"::warning ::perf-smoke: experiment suite wall "
+              f"{curr_wall:.2f}s is {factor:.2f}x the committed "
+              f"baseline {base_wall:.2f}s (warn threshold "
+              f"{warn_factor:.1f}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf",
+        description="Measure simulator throughput / compare perf records.",
+    )
+    parser.add_argument("--scale", default="test",
+                        help="scale preset to measure (default: test)")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path (default: BENCH_perf.json)")
+    parser.add_argument("--skip-reference", action="store_true",
+                        help="skip the slow per-page reference "
+                             "measurement (optimized lanes only)")
+    parser.add_argument("--compare", nargs=2,
+                        metavar=("BASELINE", "CURRENT"),
+                        help="compare two perf records instead of "
+                             "measuring")
+    parser.add_argument("--warn-factor", type=float, default=2.0,
+                        help="emit a warning when CURRENT suite wall "
+                             "exceeds BASELINE by this factor "
+                             "(default: 2.0)")
+    args = parser.parse_args(argv)
+    if args.compare:
+        return _compare(args.compare[0], args.compare[1], args.warn_factor)
+    return _measure(args.scale, args.out, args.skip_reference)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

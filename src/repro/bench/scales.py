@@ -58,6 +58,9 @@ class Scale:
     #: run every experiment with the repro.analysis runtime sanitizers
     #: active on SlimIO systems (``python -m repro.bench --sanitize``)
     sanitize: bool = False
+    #: simulator fast lanes (result-invariant; see SystemConfig)
+    batched: bool = True
+    fast_sim: bool = True
 
     # ------------------------------------------------------------------ configs
     def _geometry(self, mb: int) -> FlashGeometry:
@@ -106,6 +109,8 @@ class Scale:
             wal_buffer_limit_bytes=4 * MB,
             fs_extent_pages=64,
             sanitize=self.sanitize,
+            batched=self.batched,
+            fast_sim=self.fast_sim,
         )
         if overrides:
             cfg = replace(cfg, **overrides)

@@ -32,10 +32,17 @@ class SweepResult:
         return [r[name] for r in self.rows]
 
     def best(self, metric: str, maximize: bool = True) -> dict[str, Any]:
-        if not self.rows:
-            raise ValueError("empty sweep")
+        # rows recorded by on_error="skip" carry an "error" column and
+        # no measurements; they can never be the best point
+        candidates = [r for r in self.rows
+                      if "error" not in r and metric in r]
+        if not candidates:
+            raise ValueError(
+                f"no successful rows with metric {metric!r} "
+                f"({len(self.rows)} rows total)"
+            )
         pick = max if maximize else min
-        return pick(self.rows, key=lambda r: r[metric])
+        return pick(candidates, key=lambda r: r[metric])
 
     def format(self) -> str:
         from repro.bench.report import format_table
@@ -47,27 +54,69 @@ class SweepResult:
                                       for r in self.rows])
 
 
+def _run_point(runner: Runner, params: dict[str, Any]) -> tuple:
+    """One grid point, exception-safe — the process-pool work unit.
+
+    Module-level (not a closure) so it pickles for
+    ``ProcessPoolExecutor``; returns ``("ok", measurements)`` or
+    ``("err", message)`` instead of raising so worker tracebacks
+    don't tear down the pool.
+    """
+    try:
+        return "ok", runner(dict(params))
+    except Exception as exc:  # noqa: BLE001 — re-raised by the caller
+        return "err", f"{type(exc).__name__}: {exc}"
+
+
 def sweep(grid: dict[str, Iterable[Any]], runner: Runner,
-          on_error: str = "raise") -> SweepResult:
+          on_error: str = "raise", jobs: int = 1) -> SweepResult:
     """Run ``runner`` for every point of the cartesian ``grid``.
 
     ``on_error``: "raise" (default) or "skip" (record the failure in an
     ``error`` column and continue — useful for grids that include
     infeasible corners, e.g. WAL regions too small for the trigger).
+
+    ``jobs``: process-level parallelism. Row order is the grid's
+    cartesian order whatever ``jobs`` is, so sweep output is
+    deterministic; ``runner`` must be picklable (a module-level
+    function) when ``jobs > 1``. With ``jobs > 1`` and
+    ``on_error="raise"`` the original traceback stays in the worker —
+    the parent raises a :class:`RuntimeError` naming the failed point.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError("on_error must be 'raise' or 'skip'")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     names = list(grid.keys())
     result = SweepResult(param_names=names)
-    for values in itertools.product(*(list(grid[n]) for n in names)):
-        params = dict(zip(names, values))
-        row: dict[str, Any] = dict(params)
-        try:
-            row.update(runner(dict(params)))
-        except Exception as exc:
-            if on_error == "raise":
-                raise
-            row["error"] = f"{type(exc).__name__}: {exc}"
+    points = [dict(zip(names, values))
+              for values in itertools.product(*(list(grid[n])
+                                                for n in names))]
+    if jobs == 1 or len(points) <= 1:
+        for params in points:
+            row: dict[str, Any] = dict(params)
+            try:
+                row.update(runner(dict(params)))
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                row["error"] = f"{type(exc).__name__}: {exc}"
+            result.rows.append(row)
+        return result
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        outcomes = list(pool.map(_run_point, itertools.repeat(runner),
+                                 points))
+    for params, (status, payload) in zip(points, outcomes):
+        row = dict(params)
+        if status == "ok":
+            row.update(payload)
+        elif on_error == "raise":
+            raise RuntimeError(f"sweep point {params} failed: {payload}")
+        else:
+            row["error"] = payload
         result.rows.append(row)
     return result
 

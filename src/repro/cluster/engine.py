@@ -97,6 +97,7 @@ class SlimIOCluster:
             env, cfg.geometry, cfg.nand, cfg.ftl,
             fdp=slimio and cfg.fdp,
             num_pids=config.num_pids,
+            batched=cfg.batched,
         )
         partitions = partition_evenly(self.device, config.num_shards)
         self.allocator: PidAllocator | None = None
@@ -189,4 +190,4 @@ def build_cluster(env: Environment | None = None,
     cfg = config or ClusterConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return SlimIOCluster(env or Environment(), cfg)
+    return SlimIOCluster(env or Environment(fast_resume=cfg.system.fast_sim), cfg)

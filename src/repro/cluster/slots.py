@@ -44,16 +44,30 @@ def crc16(data: bytes) -> int:
     return crc
 
 
+#: memoized key → slot: workloads hash the same small key set on every
+#: operation, and the mapping is a pure function of the key bytes
+_slot_cache: dict[bytes, int] = {}
+_SLOT_CACHE_CAP = 1 << 16
+
+
 def key_hash_slot(key: bytes | str) -> int:
     """The slot a key belongs to, honouring ``{hashtag}`` routing."""
     if isinstance(key, str):
         key = key.encode()
+    slot = _slot_cache.get(key)
+    if slot is not None:
+        return slot
+    hashed = key
     start = key.find(b"{")
     if start >= 0:
         end = key.find(b"}", start + 1)
         if end > start + 1:  # non-empty tag, Redis rule
-            key = key[start + 1 : end]
-    return crc16(key) % NUM_SLOTS
+            hashed = key[start + 1 : end]
+    slot = crc16(hashed) % NUM_SLOTS
+    if len(_slot_cache) >= _SLOT_CACHE_CAP:
+        _slot_cache.clear()
+    _slot_cache[key] = slot
+    return slot
 
 
 class HashSlotMap:

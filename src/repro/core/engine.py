@@ -102,6 +102,15 @@ class SystemConfig:
     #: Ignored by the baseline (its invariants live in the fs layer).
     sanitize: bool = False
 
+    # simulator performance knobs — both are result-invariant: any
+    # combination produces byte-identical reports (pinned by
+    # tests/bench/test_determinism.py); they only trade heap events
+    # for wall-clock time.
+    #: closed-form NAND burst realization (False = per-page events)
+    batched: bool = True
+    #: engine inline-resume / timeout-recycling fast paths
+    fast_sim: bool = True
+
     def __post_init__(self) -> None:
         if self.num_pids is not None and self.num_pids < 1:
             raise ValueError("num_pids must be >= 1")
@@ -160,7 +169,8 @@ class BaselineSystem(_SystemBase):
         self.name = name
         if device is None:
             device = NvmeDevice(env, config.geometry, config.nand,
-                                config.ftl, fdp=False)
+                                config.ftl, fdp=False,
+                                batched=config.batched)
         self.device = device
         self.block = BlockLayer(env, self.device, config.costs,
                                 scheduler=config.scheduler)
@@ -232,6 +242,7 @@ class SlimIOSystem(_SystemBase):
             device = NvmeDevice(
                 env, config.geometry, config.nand, config.ftl,
                 fdp=config.fdp, num_pids=num_pids,
+                batched=config.batched,
             )
         self.device = device
         if self.device.fdp:
@@ -358,7 +369,7 @@ def build_baseline(env: Environment | None = None,
     cfg = config or SystemConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return BaselineSystem(env or Environment(), cfg)
+    return BaselineSystem(env or Environment(fast_resume=cfg.fast_sim), cfg)
 
 
 def build_slimio(env: Environment | None = None,
@@ -368,4 +379,4 @@ def build_slimio(env: Environment | None = None,
     cfg = config or SystemConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return SlimIOSystem(env or Environment(), cfg)
+    return SlimIOSystem(env or Environment(fast_resume=cfg.fast_sim), cfg)

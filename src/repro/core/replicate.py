@@ -154,10 +154,12 @@ def full_sync(
         model = replica.config.compression
         raw = sum(len(k) + len(v) for k, v in entries)
         r_acct = CpuAccount(env, "repl-loader")
-        yield from r_acct.charge(
+        _cpu_ev = r_acct.charge(
             "decompress",
             model.decompress_time(raw, max(1, len(entries) // 64)),
         )
+        if _cpu_ev is not None:
+            yield _cpu_ev
         for key, value in entries:
             yield from replica.server.execute(ClientOp("SET", key, value))
 

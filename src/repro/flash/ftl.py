@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from collections.abc import Generator
+from collections.abc import Generator, Sequence
 
 import numpy as np
 
@@ -129,11 +129,12 @@ class FlashTranslationLayer:
         timing: NandTiming | None = None,
         config: FtlConfig | None = None,
         nand: NandArray | None = None,
+        batched: bool = True,
     ):
         self.env = env
         self.geometry = geometry
         self.config = config or FtlConfig()
-        self.nand = nand or NandArray(env, geometry, timing)
+        self.nand = nand or NandArray(env, geometry, timing, batched=batched)
         g = geometry
         if self.config.gc_stop_segments >= g.segments:
             raise ValueError(
@@ -263,6 +264,58 @@ class FlashTranslationLayer:
         yield from self.nand.read_page(ppn)
         return True
 
+    def write_burst(self, lpn_start: int, count: int, stream_id: int) -> Generator:
+        """Host multi-page write: one placement pass, one NAND burst.
+
+        Equivalent to ``count`` individual :meth:`write` calls in
+        accounting (stall time, WAF, per-stream counters) but takes the
+        (stream, role) place lock once and programs the whole extent as
+        a single pipelined burst.
+        """
+        if count <= 0:
+            return
+        self._check_lpn(lpn_start)
+        self._check_lpn(lpn_start + count - 1)
+        if stream_id not in self._streams:
+            raise ValueError(f"unknown stream {stream_id}")
+        # Chunk at segment granularity: data streams into a real FTL at
+        # channel speed, so segment allocations for a long extent are
+        # paced by the programs of the previous segment — mapping the
+        # whole extent at one instant would let a single burst drain
+        # the free list faster than background GC can interleave its
+        # copy-free erases.
+        chunk = self.geometry.pages_per_segment
+        i = 0
+        while i < count:
+            take = min(chunk, count - i)
+            t0 = self.env.now
+            ppns = yield from self._place_chunked(
+                range(lpn_start + i, lpn_start + i + take),
+                stream_id,
+                ROLE_HOST,
+            )
+            # every page of the chunk experienced the same allocation wait
+            self.stats.host_stall_time += (self.env.now - t0) * take
+            yield self.nand.program_pages(ppns)
+            self.stats.host_pages_written += take
+            self._streams[stream_id].pages_written += take
+            i += take
+
+    def read_burst(self, lpn_start: int, count: int) -> Generator:
+        """Host multi-page read; unmapped pages cost nothing.
+
+        Returns the number of mapped pages actually sensed.
+        """
+        if count <= 0:
+            return 0
+        self._check_lpn(lpn_start)
+        self._check_lpn(lpn_start + count - 1)
+        ppns = self._l2p[lpn_start : lpn_start + count]
+        mapped = ppns[ppns >= 0]
+        if mapped.size:
+            yield self.nand.read_pages(mapped.tolist())
+        return int(mapped.size)
+
     def deallocate(self, lpn_start: int, count: int) -> None:
         """TRIM a logical range: invalidate without writing.
 
@@ -343,6 +396,75 @@ class FlashTranslationLayer:
             if self.obs is not None:
                 self._obs_stalls.inc()
             yield waiter
+
+    def _place_chunked(
+        self, lpns: Sequence[int], stream_id: int, role: int
+    ) -> Generator:
+        """Assign physical pages to a whole extent under one lock hold.
+
+        Splits the extent at segment boundaries; each chunk's mapping
+        update is vectorized. Returns the assigned ppns in lpn order.
+        """
+        stream = self._streams[stream_id]
+        g = self.geometry
+        lock = stream.place_locks[role].request()
+        yield lock
+        ppns: list[int] = []
+        try:
+            i, n = 0, len(lpns)
+            while i < n:
+                seg = stream.open_segment[role]
+                if seg is None or stream.write_ptr[role] >= g.pages_per_segment:
+                    if seg is not None:
+                        self._seg_state[seg] = SEG_FULL
+                        stream.open_segment[role] = None
+                        self._maybe_kick_gc()
+                    seg = yield from self._alloc_segment(stream_id, role)
+                    stream.open_segment[role] = seg
+                    stream.write_ptr[role] = 0
+                take = min(g.pages_per_segment - stream.write_ptr[role], n - i)
+                base = g.first_page_of_segment(seg) + stream.write_ptr[role]
+                stream.write_ptr[role] += take
+                self._map_range(lpns[i : i + take], base, seg)
+                ppns.extend(range(base, base + take))
+                i += take
+        finally:
+            stream.place_locks[role].release(lock)
+        return ppns
+
+    def _map_range(self, lpns: Sequence[int], base: int, seg: int) -> None:
+        """Map ``lpns`` onto the consecutive ppns starting at ``base``."""
+        arr = np.asarray(lpns, dtype=np.int64)
+        if np.unique(arr).size != arr.size:
+            # Duplicate lpns within one burst: vectorized scatter would
+            # let an early ppn's reverse mapping survive; fall back to
+            # page-at-a-time semantics (the later write supersedes).
+            for lpn, ppn in zip(lpns, range(base, base + len(lpns))):
+                self._map_one(int(lpn), ppn)
+            return
+        old = self._l2p[arr]
+        live = old[old >= 0]
+        if live.size:
+            self._p2l[live] = -1
+            np.subtract.at(
+                self._seg_valid, live // self.geometry.pages_per_segment, 1
+            )
+        new = np.arange(base, base + arr.size, dtype=np.int64)
+        self._l2p[arr] = new
+        self._p2l[new] = arr
+        self._seg_valid[seg] += arr.size
+        if live.size:
+            self._on_invalidation()
+
+    def _map_one(self, lpn: int, ppn: int) -> None:
+        old = int(self._l2p[lpn])
+        if old >= 0:
+            self._p2l[old] = -1
+            self._seg_valid[self.geometry.segment_of_page(old)] -= 1
+            self._on_invalidation()
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._seg_valid[self.geometry.segment_of_page(ppn)] += 1
 
     # ------------------------------------------------------------------ GC
     def _maybe_kick_gc(self) -> None:
@@ -449,24 +571,19 @@ class FlashTranslationLayer:
         with maybe_span(self.obs, "gc_reclaim", track="gc",
                         stream=stream_id):
             copied = 0
-            window: list = []
+            window: list[tuple[int, int]] = []
             for off in range(g.pages_per_segment):
                 ppn = base + off
                 lpn = int(self._p2l[ppn])
                 if lpn < 0:
                     continue
-                window.append(
-                    self.env.process(
-                        self._copy_page(lpn, ppn, stream_id),
-                        name=f"gc-copy-{lpn}",
-                    )
-                )
+                window.append((lpn, ppn))
                 copied += 1
                 if len(window) >= self.config.gc_copy_window:
-                    yield self.env.all_of(window)
+                    yield from self._copy_window(window, stream_id)
                     window = []
             if window:
-                yield self.env.all_of(window)
+                yield from self._copy_window(window, stream_id)
             if copied == 0:
                 self.stats.copyfree_erases += 1
             yield from self.nand.erase_segment(victim)
@@ -483,24 +600,37 @@ class FlashTranslationLayer:
         for w in waiters:
             w.succeed()
 
-    def _copy_page(self, lpn: int, src_ppn: int, stream_id: int) -> Generator:
-        # The host may have rewritten the lpn since we scanned; skip then.
-        if int(self._l2p[lpn]) != src_ppn:
+    def _copy_window(
+        self, pairs: list[tuple[int, int]], stream_id: int
+    ) -> Generator:
+        """Relocate one window of (lpn, src_ppn) victim candidates.
+
+        Batched read of the still-valid sources, a post-read validity
+        re-check (the host may rewrite an lpn while its copy is in
+        flight), then one placement pass and one program burst for the
+        survivors.
+        """
+        live = [(lpn, ppn) for lpn, ppn in pairs if int(self._l2p[lpn]) == ppn]
+        if not live:
             return
-        yield from self.nand.read_page(src_ppn)
-        if int(self._l2p[lpn]) != src_ppn:
+        yield self.nand.read_pages([ppn for _lpn, ppn in live])
+        live = [(lpn, ppn) for lpn, ppn in live if int(self._l2p[lpn]) == ppn]
+        if not live:
             return
-        dst = yield from self._place(lpn, stream_id, ROLE_GC)
-        yield from self.nand.program_page(dst)
-        self.stats.gc_pages_copied += 1
-        self._streams[stream_id].gc_pages_copied += 1
+        dsts = yield from self._place_chunked(
+            [lpn for lpn, _ppn in live], stream_id, ROLE_GC
+        )
+        yield self.nand.program_pages(dsts)
+        n = len(live)
+        self.stats.gc_pages_copied += n
+        self._streams[stream_id].gc_pages_copied += n
         if self.obs is not None:
             c = self._obs_gc_copies.get(stream_id)
             if c is None:
                 c = self.obs.counter("ftl_gc_pages_copied_total",
                                      stream=stream_id)
                 self._obs_gc_copies[stream_id] = c
-            c.inc()
+            c.inc(n)
 
     # ------------------------------------------------------------------ invariants
     def check_invariants(self) -> None:

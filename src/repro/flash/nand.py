@@ -5,14 +5,36 @@ each channel bus moves one page at a time. Host I/O and GC traffic
 contend for the same dies — this contention is the physical mechanism
 behind the paper's "Snapshot & WAL (under GC)" degradation (§3.1.4)
 and the RPS nosedives of Figure 4.
+
+Batched bursts
+--------------
+
+Multi-page operations (:meth:`NandArray.program_pages`,
+:meth:`NandArray.read_pages`) are the hot path: an N-page burst is
+split into runs of pages sharing one channel and each run's transfer
+pipeline is computed in closed form (arrival instants by repeated
+addition from the channel-grant time) instead of one heap event per
+page-step. Die occupancy stays per-page — that is the contention that
+matters — but grants, releases, and completions are scheduled at
+*absolute* instants (:meth:`Environment.at`), so the realized schedule
+is a pure function of grant times.
+
+``batched=False`` keeps the exact same side-effect schedule (the same
+requests, releases, and completion instants, computed by the same
+shared arithmetic) but additionally realizes per-page granularity:
+one pacing process plus chopped per-page timeouts per page, the event
+load a page-at-a-time model pays. Because the side-effect graph is
+shared, batched and unbatched runs are identical by construction —
+``batched`` only changes how many inert events the heap carries, which
+is exactly what the perf harness measures.
 """
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Generator, Sequence
 
 from repro.flash.geometry import FlashGeometry, NandTiming
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Event, Resource
 from repro.sim.stats import Counter
 
 __all__ = ["NandArray"]
@@ -26,44 +48,237 @@ class NandArray:
         env: Environment,
         geometry: FlashGeometry,
         timing: NandTiming | None = None,
+        batched: bool = True,
     ):
         self.env = env
         self.geometry = geometry
         self.timing = timing or NandTiming()
+        self.batched = batched
         self._dies = [Resource(env, capacity=1) for _ in range(geometry.total_dies)]
         self._channels = [Resource(env, capacity=1) for _ in range(geometry.channels)]
         self.counters = Counter()
         #: accumulated die-busy time, for utilization reporting
         self.die_busy_time = 0.0
 
-    # -- elemental operations (generators to be yielded from processes) ------
-    def _occupy(self, die: int, duration: float) -> Generator:
-        req = self._dies[die].request()
-        yield req
-        yield self.env.timeout(duration)
-        self._dies[die].release(req)
-        self.die_busy_time += duration
+    # -- burst helpers ---------------------------------------------------------
+    def _channel_runs(
+        self, ppns: Sequence[int]
+    ) -> list[tuple[int, list[tuple[int, int]]]]:
+        """Split a page list into order-preserving same-channel runs.
 
-    def _transfer(self, die: int) -> Generator:
-        ch = self.geometry.channel_of_die(die)
-        req = self._channels[ch].request()
-        yield req
-        yield self.env.timeout(self.timing.channel_transfer)
-        self._channels[ch].release(req)
+        Returns ``[(channel, [(ppn, die), ...]), ...]``. Consecutive
+        physical pages stripe across dies, so ``dies_per_channel``
+        consecutive pages land on one channel — the natural transfer
+        burst.
+        """
+        geo = self.geometry
+        runs: list[tuple[int, list[tuple[int, int]]]] = []
+        cur_ch = -1
+        cur: list[tuple[int, int]] = []
+        for ppn in ppns:
+            die = geo.die_of_page(ppn)
+            ch = geo.channel_of_die(die)
+            if ch != cur_ch:
+                if cur:
+                    runs.append((cur_ch, cur))
+                cur_ch, cur = ch, []
+            cur.append((ppn, die))
+        if cur:
+            runs.append((cur_ch, cur))
+        return runs
 
+    def _pace(self, instants: list[float]) -> Generator:
+        """Inert per-page pacing for the unbatched realization.
+
+        Yields one heap event per chopped instant — the grant, done,
+        and release round-trips a page-at-a-time model dispatches per
+        step. Touches no shared state, so it cannot perturb the
+        simulated schedule.
+        """
+        env = self.env
+        for when in instants:
+            if when >= env.now:
+                yield env.at(when)
+
+    @staticmethod
+    def _on_grant(request, fn) -> None:
+        """Run ``fn`` at the request's grant instant.
+
+        A born-granted request (``callbacks is None``) is held already:
+        run synchronously. Otherwise the grant fires through the heap.
+        """
+        if request.callbacks is None:
+            fn(None)
+        else:
+            request.callbacks.append(fn)
+
+    # -- programs --------------------------------------------------------------
+    def program_pages(self, ppns: Sequence[int]) -> Event:
+        """Program a burst of pages; returns an event firing when the
+        last page completes.
+
+        Per channel run: the channel is held for the whole transfer
+        pipeline (one page arrives every ``channel_transfer``); each
+        page's die is requested at channel-grant time (in page order)
+        and programs as soon as both its data has arrived and its die
+        is free.
+        """
+        done = self.env.event()
+        if not ppns:
+            done.succeed()
+            return done
+        state = [len(ppns)]
+        for ch, pages in self._channel_runs(ppns):
+            self._start_program_run(ch, pages, state, done)
+        return done
+
+    def _start_program_run(
+        self,
+        ch: int,
+        pages: list[tuple[int, int]],
+        state: list[int],
+        done: Event,
+    ) -> None:
+        env = self.env
+        t_tr = self.timing.channel_transfer
+        t_prog = self.timing.page_program
+        channel = self._channels[ch]
+        creq = channel.request()
+
+        def on_channel(_ev, _creq=creq) -> None:
+            arrival = env.now
+            arrivals: list[float] = []
+            for _ in pages:
+                arrival = arrival + t_tr
+                arrivals.append(arrival)
+            rel = env.at(arrivals[-1])
+            rel.callbacks.append(lambda _e: channel.release(_creq))
+            if not self.batched:
+                # per page: transfer grant+done, program grant+done —
+                # the four dispatch points of the chopped realization
+                for a in arrivals:
+                    env.process(
+                        self._pace([a, a, a + t_prog, a + t_prog]),
+                        name="nand-pace",
+                    )
+            for (_ppn, die), a in zip(pages, arrivals):
+                self._program_on_die(die, a, t_prog, state, done)
+
+        self._on_grant(creq, on_channel)
+
+    def _program_on_die(
+        self, die: int, arrival: float, t_prog: float, state: list[int], done: Event
+    ) -> None:
+        env = self.env
+        resource = self._dies[die]
+        dreq = resource.request()
+
+        def on_die(_ev) -> None:
+            grant = env.now
+            start = arrival if arrival > grant else grant
+            fin = env.at(start + t_prog)
+
+            def on_done(_e) -> None:
+                resource.release(dreq)
+                self.die_busy_time += t_prog
+                self.counters.add("page_programs")
+                state[0] -= 1
+                if not state[0]:
+                    done.succeed()
+
+            fin.callbacks.append(on_done)
+
+        self._on_grant(dreq, on_die)
+
+    # -- reads -----------------------------------------------------------------
+    def read_pages(self, ppns: Sequence[int]) -> Event:
+        """Read a burst of pages; returns an event firing when the last
+        transfer completes.
+
+        Per channel run: all senses proceed in die-parallel; once the
+        run's last sense lands, the channel is held once and the run's
+        pages stream out back-to-back.
+        """
+        done = self.env.event()
+        if not ppns:
+            done.succeed()
+            return done
+        state = [len(ppns)]
+        for ch, pages in self._channel_runs(ppns):
+            self._start_read_run(ch, pages, state, done)
+        return done
+
+    def _start_read_run(
+        self,
+        ch: int,
+        pages: list[tuple[int, int]],
+        state: list[int],
+        done: Event,
+    ) -> None:
+        env = self.env
+        t_read = self.timing.page_read
+        t_tr = self.timing.channel_transfer
+        channel = self._channels[ch]
+        senses = [len(pages)]
+
+        def after_senses() -> None:
+            creq = channel.request()
+
+            def on_channel(_ev, _creq=creq) -> None:
+                out = env.now
+                for _ in pages:
+                    out = out + t_tr
+                rel = env.at(out)
+
+                def on_done(_e) -> None:
+                    channel.release(_creq)
+                    self.counters.add("page_reads", len(pages))
+                    state[0] -= len(pages)
+                    if not state[0]:
+                        done.succeed()
+
+                rel.callbacks.append(on_done)
+
+            self._on_grant(creq, on_channel)
+
+        for _ppn, die in pages:
+            self._read_on_die(die, t_read, t_tr, senses, after_senses)
+
+    def _read_on_die(
+        self, die: int, t_read: float, t_tr: float, senses: list[int], after_senses
+    ) -> None:
+        env = self.env
+        resource = self._dies[die]
+        dreq = resource.request()
+
+        def on_die(_ev) -> None:
+            sensed = env.now + t_read
+            fin = env.at(sensed)
+            if not self.batched:
+                env.process(
+                    self._pace([sensed, sensed, sensed + t_tr, sensed + t_tr]),
+                    name="nand-pace",
+                )
+
+            def on_sense(_e) -> None:
+                resource.release(dreq)
+                self.die_busy_time += t_read
+                senses[0] -= 1
+                if not senses[0]:
+                    after_senses()
+
+            fin.callbacks.append(on_sense)
+
+        self._on_grant(dreq, on_die)
+
+    # -- single-page wrappers (process composition via ``yield from``) ---------
     def read_page(self, ppn: int) -> Generator:
         """Sense the page on its die, then move it over the channel."""
-        die = self.geometry.die_of_page(ppn)
-        yield from self._occupy(die, self.timing.page_read)
-        yield from self._transfer(die)
-        self.counters.add("page_reads")
+        yield self.read_pages([ppn])
 
     def program_page(self, ppn: int) -> Generator:
         """Move data over the channel, then program the die."""
-        die = self.geometry.die_of_page(ppn)
-        yield from self._transfer(die)
-        yield from self._occupy(die, self.timing.page_program)
-        self.counters.add("page_programs")
+        yield self.program_pages([ppn])
 
     def erase_segment(self, seg: int) -> Generator:
         """Erase the segment's block on every die (in parallel).
@@ -71,17 +286,43 @@ class NandArray:
         Each die pays one block-erase latency; the segment erase
         completes when the slowest die finishes.
         """
-        procs = []
+        yield self.erase_segment_ev(seg)
+
+    def erase_segment_ev(self, seg: int) -> Event:
+        env = self.env
+        done = env.event()
+        t_erase = self.timing.block_erase
+        state = [self.geometry.total_dies]
         for die in range(self.geometry.total_dies):
-            procs.append(
-                self.env.process(
-                    self._occupy(die, self.timing.block_erase),
-                    name=f"erase-seg{seg}-die{die}",
+            self._erase_on_die(die, t_erase, state, done)
+        return done
+
+    def _erase_on_die(
+        self, die: int, t_erase: float, state: list[int], done: Event
+    ) -> None:
+        env = self.env
+        resource = self._dies[die]
+        dreq = resource.request()
+
+        def on_die(_ev) -> None:
+            fin = env.at(env.now + t_erase)
+            if not self.batched:
+                env.process(
+                    self._pace([env.now + t_erase] * 2), name="nand-pace"
                 )
-            )
-        yield self.env.all_of(procs)
-        self.counters.add("segment_erases")
-        self.counters.add("block_erases", self.geometry.total_dies)
+
+            def on_done(_e) -> None:
+                resource.release(dreq)
+                self.die_busy_time += t_erase
+                state[0] -= 1
+                if not state[0]:
+                    self.counters.add("segment_erases")
+                    self.counters.add("block_erases", self.geometry.total_dies)
+                    done.succeed()
+
+            fin.callbacks.append(on_done)
+
+        self._on_grant(dreq, on_die)
 
     # -- reporting -------------------------------------------------------------
     def utilization(self, t_end: float | None = None) -> float:

@@ -101,9 +101,11 @@ class CowMemory:
 
     def pt_copy_stall(self, account: CpuAccount) -> Generator:
         """The synchronous page-table copy cost of the armed fork."""
-        yield from account.charge(
+        _cpu_ev = account.charge(
             "fork", self._armed_pages * self.model.pt_copy_per_page
         )
+        if _cpu_ev is not None:
+            yield _cpu_ev
 
     def fork(self, heap_pages: int, account: CpuAccount) -> Generator:
         """Fork with ``heap_pages`` mapped; stalls for the PT copy."""
@@ -125,10 +127,12 @@ class CowMemory:
         window[:] = False
         self.cow_faults += 1
         self.copied_pages += to_copy
-        yield from account.charge(
+        _cpu_ev = account.charge(
             "cow",
             self.model.fault_overhead + to_copy * self.model.page_copy_time,
         )
+        if _cpu_ev is not None:
+            yield _cpu_ev
         self.extra.add(self.env.now, to_copy * self.page_size)
         return to_copy
 

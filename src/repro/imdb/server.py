@@ -258,10 +258,14 @@ class Server:
         if op.key in self.store and self.expiry.lazy_check(op.key):
             yield from self._evict_locked(op.key)
         if op.op == "GET":
-            yield from acct.charge("query_cpu", cfg.get_cpu)
+            _cpu_ev = acct.charge("query_cpu", cfg.get_cpu)
+            if _cpu_ev is not None:
+                yield _cpu_ev
             return self.store.get(op.key), None
         if op.op == "SET":
-            yield from acct.charge("query_cpu", cfg.set_cpu)
+            _cpu_ev = acct.charge("query_cpu", cfg.set_cpu)
+            if _cpu_ev is not None:
+                yield _cpu_ev
             if self.wal is not None:
                 wal_seq = self.wal.stage(
                     AofRecord(op=OP_SET, key=op.key, value=op.value)
@@ -274,7 +278,9 @@ class Server:
             yield from self.cow.touch(first, n, acct)
             return None, wal_seq
         # DEL
-        yield from acct.charge("query_cpu", cfg.del_cpu)
+        _cpu_ev = acct.charge("query_cpu", cfg.del_cpu)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         if self.wal is not None:
             wal_seq = self.wal.stage(AofRecord(op=OP_DEL, key=op.key))
         pages = self.store.pages_of(op.key)
@@ -289,7 +295,9 @@ class Server:
 
         Returns the staged WAL sequence number (None without a WAL).
         """
-        yield from self.account.charge("query_cpu", self.config.del_cpu)
+        _cpu_ev = self.account.charge("query_cpu", self.config.del_cpu)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         seq = None
         if self.wal is not None:
             seq = self.wal.stage(AofRecord(op=OP_DEL, key=key))

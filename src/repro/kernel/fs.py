@@ -233,7 +233,9 @@ class Filesystem:
             account.note("fs_lock_wait", wait)
         if self.obs is not None:
             self._obs_lock_wait.observe(wait)
-        yield from account.charge("fs", self.commit_hold_time)
+        _cpu_ev = account.charge("fs", self.commit_hold_time)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         self.commit_lock.release(req)
         self.counters.add("commits")
 
@@ -248,7 +250,9 @@ class Filesystem:
         if self.obs is not None:
             self._obs_lock_wait.observe(wait)
         try:
-            yield from account.charge("fs", self.commit_hold_time)
+            _cpu_ev = account.charge("fs", self.commit_hold_time)
+            if _cpu_ev is not None:
+                yield _cpu_ev
             from repro.nvme import WriteCmd
 
             for _ in range(self.journal_io_pages):
@@ -278,7 +282,9 @@ class Filesystem:
             grow = self.extent_pages
             lba = self._alloc.alloc(grow)
             inode.extents.append((lba, grow))
-            yield from account.charge("fs", self.write_path_cpu)
+            _cpu_ev = account.charge("fs", self.write_path_cpu)
+            if _cpu_ev is not None:
+                yield _cpu_ev
             self.counters.add("extent_allocs")
 
 
@@ -335,11 +341,15 @@ class PosixFile:
 
     def _pwrite(self, offset: int, data: bytes, account: CpuAccount) -> Generator:
         fs = self.fs
-        yield from account.charge("syscall", fs.costs.syscall_overhead)
+        _cpu_ev = account.charge("syscall", fs.costs.syscall_overhead)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         yield from fs._ensure_allocated(self.inode, offset + len(data), account)
         if fs.journal_on_write:
             yield from fs._commit(account)
-        yield from account.charge("fs", fs.write_path_cpu)
+        _cpu_ev = account.charge("fs", fs.write_path_cpu)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         yield from fs.cache.write(self.inode.file_id, offset, data, account)
         self.inode.size = max(self.inode.size, offset + len(data))
         fs.counters.add("write_calls")
@@ -353,8 +363,12 @@ class PosixFile:
         readahead: int | None = None,
     ) -> Generator:
         fs = self.fs
-        yield from account.charge("syscall", fs.costs.syscall_overhead)
-        yield from account.charge("fs", fs.read_path_cpu)
+        _cpu_ev = account.charge("syscall", fs.costs.syscall_overhead)
+        if _cpu_ev is not None:
+            yield _cpu_ev
+        _cpu_ev = account.charge("fs", fs.read_path_cpu)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         length = max(0, min(length, self.inode.size - offset))
         if length == 0:
             return b""
@@ -366,7 +380,9 @@ class PosixFile:
 
     def fsync(self, account: CpuAccount) -> Generator:
         fs = self.fs
-        yield from account.charge("syscall", fs.costs.syscall_overhead)
+        _cpu_ev = account.charge("syscall", fs.costs.syscall_overhead)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         yield from fs.cache.fsync(self.inode.file_id, account)
         yield from fs._commit_io(account)
         fs.counters.add("fsync_calls")

@@ -82,9 +82,13 @@ class IoUringRing:
             ...                                         # do other work
             result = yield from ring.wait(ev, account)  # reap CQE
         """
-        yield from account.charge("uring", self.costs.uring_sqe_prep)
+        _cpu_ev = account.charge("uring", self.costs.uring_sqe_prep)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         if not self.sqpoll:
-            yield from account.charge("syscall", self.costs.uring_enter_cost)
+            _cpu_ev = account.charge("syscall", self.costs.uring_enter_cost)
+            if _cpu_ev is not None:
+                yield _cpu_ev
             self.counters.add("enter_syscalls")
             if self.obs is not None:
                 self._obs_enters.inc()
@@ -124,7 +128,9 @@ class IoUringRing:
         t0 = self.env.now
         value = yield completion
         account.note("ssd_wait", self.env.now - t0)
-        yield from account.charge("uring", self.costs.cqe_reap_cost)
+        _cpu_ev = account.charge("uring", self.costs.cqe_reap_cost)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         return value
 
     def submit_and_wait(self, cmd: NvmeCommand, account: CpuAccount) -> Generator:

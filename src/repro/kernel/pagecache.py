@@ -141,7 +141,9 @@ class PageCache:
             raise KeyError(f"file {file_id} not registered")
         if offset < 0:
             raise ValueError("negative offset")
-        yield from account.charge("copy", self.costs.copy_time(len(data)))
+        _cpu_ev = account.charge("copy", self.costs.copy_time(len(data)))
+        if _cpu_ev is not None:
+            yield _cpu_ev
         ps = self.page_size
         pos = 0
         n_ops = 0
@@ -158,12 +160,16 @@ class PageCache:
                 newly_dirty += 1
             pos += n
             n_ops += 1
-        yield from account.charge("pagecache", n_ops * self.costs.pagecache_page_op)
+        _cpu_ev = account.charge("pagecache", n_ops * self.costs.pagecache_page_op)
+        if _cpu_ev is not None:
+            yield _cpu_ev
         # writeback submission work done on the dirtier's behalf
         # (balance_dirty_pages / direct submission under pressure)
-        yield from account.charge(
+        _cpu_ev = account.charge(
             "pagecache", newly_dirty * self.costs.bio_submit_cost
         )
+        if _cpu_ev is not None:
+            yield _cpu_ev
         self.counters.add("buffered_writes")
         if self.obs is not None:
             self._obs_dirty.set(float(self.dirty_bytes))
@@ -244,10 +250,14 @@ class PageCache:
             account.note("ssd_wait", self.env.now - t0)
             self.counters.add("cache_misses", run_len)
         # copy to user
-        yield from account.charge("copy", self.costs.copy_time(length))
-        yield from account.charge(
+        _cpu_ev = account.charge("copy", self.costs.copy_time(length))
+        if _cpu_ev is not None:
+            yield _cpu_ev
+        _cpu_ev = account.charge(
             "pagecache", (last - first + 1) * self.costs.pagecache_page_op
         )
+        if _cpu_ev is not None:
+            yield _cpu_ev
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -315,19 +325,51 @@ class PageCache:
         yield sub_lba, sub_start, sub_len
 
     def _flush_run(self, fid: int, start: int, n: int, sync: bool) -> Generator:
-        resolver = self._resolvers[fid]
+        # A file can be unlinked while its writeback is in flight (WAL
+        # generation rotation does exactly this): ``drop_file`` removes
+        # the pages, the dirty marks, and the resolver, and the freed
+        # extents are TRIMmed. Like the kernel skipping pages whose
+        # mapping is gone, snapshot the page->LBA map up front and skip
+        # anything that has vanished.
+        resolver = self._resolvers.get(fid)
+        pages: list[tuple[int, int]] = []  # (page_idx, lba)
         for j in range(n):
-            self._dirty.discard((fid, start + j))
-        for lba, sub_start, sub_len in self._lba_runs(resolver, start, n):
-            data = b"".join(
-                bytes(self._pages[(fid, sub_start + j)]) for j in range(sub_len)
-            )
+            key = (fid, start + j)
+            self._dirty.discard(key)
+            if resolver is None or key not in self._pages:
+                continue
+            try:
+                lba = resolver(start + j)
+            except ValueError:
+                continue  # allocation shrank under writeback
+            pages.append((start + j, lba))
+        flushed = 0
+        i = 0
+        while i < len(pages):
+            idx, lba = pages[i]
+            # Re-check liveness at submit time: an unlink during an
+            # earlier sub-run's I/O frees the remaining LBAs (possibly
+            # to a new file) — a stale write there would corrupt it.
+            if (fid, idx) not in self._pages:
+                i += 1
+                continue
+            data = [bytes(self._pages[(fid, idx)])]
+            k = 1
+            while (
+                i + k < len(pages)
+                and pages[i + k][1] == lba + k
+                and (fid, pages[i + k][0]) in self._pages
+            ):
+                data.append(bytes(self._pages[(fid, pages[i + k][0])]))
+                k += 1
             yield from self.block.submit(
-                WriteCmd(lba=lba, nlb=sub_len, data=data), sync=sync
+                WriteCmd(lba=lba, nlb=k, data=b"".join(data)), sync=sync
             )
-        self.counters.add("writeback_pages", n)
+            flushed += k
+            i += k
+        self.counters.add("writeback_pages", flushed)
         if self.obs is not None:
-            self._obs_wb_pages.inc(n)
+            self._obs_wb_pages.inc(flushed)
             self._obs_dirty.set(float(self.dirty_bytes))
 
     def fsync(self, file_id: int, account: CpuAccount) -> Generator:

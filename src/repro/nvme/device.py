@@ -59,12 +59,15 @@ class NvmeDevice:
         ftl_config: FtlConfig | None = None,
         fdp: bool = False,
         num_pids: int = 8,
+        batched: bool = True,
     ):
         self.env = env
         self.geometry = geometry or FlashGeometry()
         self.fdp = fdp
         self.num_pids = num_pids
-        self.ftl = FlashTranslationLayer(env, self.geometry, timing, ftl_config)
+        self.ftl = FlashTranslationLayer(
+            env, self.geometry, timing, ftl_config, batched=batched
+        )
         if fdp:
             for pid in range(num_pids):
                 self.ftl.register_stream(pid)
@@ -142,27 +145,19 @@ class NvmeDevice:
                 f"data length {len(cmd.data)} != nlb*page {cmd.nlb * page}"
             )
         stream = self._stream_for_pid(cmd.pid)
-        procs = []
         for i in range(cmd.nlb):
             lba = cmd.lba + i
             if cmd.data is not None:
                 self._data[lba] = cmd.data[i * page : (i + 1) * page]
             else:
                 self._data[lba] = _zero_page(page)
-            procs.append(
-                self.env.process(self.ftl.write(lba, stream), name=f"wr-{lba}")
-            )
-        yield self.env.all_of(procs)
+        yield from self.ftl.write_burst(cmd.lba, cmd.nlb, stream)
         self.stats.write_cmds += 1
         self.stats.pages_written += cmd.nlb
 
     def _do_read(self, cmd: ReadCmd) -> Generator:
         self._check_extent(cmd.lba, cmd.nlb)
-        procs = [
-            self.env.process(self.ftl.read(cmd.lba + i), name=f"rd-{cmd.lba + i}")
-            for i in range(cmd.nlb)
-        ]
-        yield self.env.all_of(procs)
+        yield from self.ftl.read_burst(cmd.lba, cmd.nlb)
         self.stats.read_cmds += 1
         self.stats.pages_read += cmd.nlb
         return self.peek(cmd.lba, cmd.nlb)

@@ -103,7 +103,7 @@ class ObsHistogram:
     """
 
     __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "_reservoir", "_cap", "_rng")
+                 "_reservoir", "_cap", "_rng", "_randbuf", "_randpos")
     kind = "histogram"
 
     def __init__(self, name: str, labels: dict, reservoir: int = 512):
@@ -120,6 +120,10 @@ class ObsHistogram:
         self._rng = np.random.default_rng(
             abs(hash((name,) + _label_key(labels))) % (2**32)
         )
+        # raw 63-bit draws are buffered in bulk: one generator call per
+        # observation dwarfs the rest of this method on the hot path
+        self._randbuf = ()
+        self._randpos = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -131,7 +135,14 @@ class ObsHistogram:
         if len(self._reservoir) < self._cap:
             self._reservoir.append(value)
         else:
-            j = int(self._rng.integers(0, self.count))
+            i = self._randpos
+            if i >= len(self._randbuf):
+                self._randbuf = self._rng.integers(
+                    0, 1 << 63, size=1024, dtype=np.int64
+                ).tolist()
+                i = 0
+            self._randpos = i + 1
+            j = self._randbuf[i] % self.count
             if j < self._cap:
                 self._reservoir[j] = value
 

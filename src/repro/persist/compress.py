@@ -50,6 +50,10 @@ class CompressionModel:
 class Compressor:
     """zlib-backed codec with optional passthrough for tests."""
 
+    #: memo cap — snapshot cycles re-compress largely unchanged chunks,
+    #: so a modest cache absorbs most of the zlib cost
+    _CACHE_CAP = 4096
+
     def __init__(self, level: int = 1, enabled: bool = True,
                  model: CompressionModel | None = None):
         if not 0 <= level <= 9:
@@ -57,11 +61,18 @@ class Compressor:
         self.level = level
         self.enabled = enabled
         self.model = model or CompressionModel()
+        self._cache: dict[bytes, bytes] = {}
 
     def compress(self, raw: bytes) -> bytes:
         if not self.enabled:
             return raw
-        return zlib.compress(raw, self.level)
+        blob = self._cache.get(raw)
+        if blob is None:
+            blob = zlib.compress(raw, self.level)
+            if len(self._cache) >= self._CACHE_CAP:
+                self._cache.clear()
+            self._cache[raw] = blob
+        return blob
 
     def decompress(self, blob: bytes, raw_len: int | None = None) -> bytes:
         if not self.enabled:

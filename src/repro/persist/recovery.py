@@ -84,13 +84,17 @@ def recover_store(
                               read=offset, total=total)
             entries = RdbReader(comp).read_all(bytes(blob))
             raw_bytes = sum(len(k) + len(v) for k, v in entries)
-            yield from account.charge(
+            _cpu_ev = account.charge(
                 "decompress",
                 model.decompress_time(raw_bytes, max(1, len(entries) // 64)),
             )
-            yield from account.charge(
+            if _cpu_ev is not None:
+                yield _cpu_ev
+            _cpu_ev = account.charge(
                 "rebuild", len(entries) * REBUILD_PER_ENTRY
             )
+            if _cpu_ev is not None:
+                yield _cpu_ev
             for k, v in entries:
                 result.data[k] = v
             result.snapshot_entries = len(entries)
@@ -103,9 +107,11 @@ def recover_store(
         with maybe_span(obs, "recovery_replay", track="recovery"):
             raw = yield from wal_sink.read_all(account)
             records = list(AofCodec.decode_stream(raw))
-            yield from account.charge(
+            _cpu_ev = account.charge(
                 "rebuild", len(records) * REBUILD_PER_ENTRY
             )
+            if _cpu_ev is not None:
+                yield _cpu_ev
             for rec in records:
                 if rec.op == OP_SET:
                     result.data[rec.key] = rec.value

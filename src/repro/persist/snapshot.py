@@ -142,15 +142,19 @@ class SnapshotWriterProcess:
                     batch = self.items[start : start + self.chunk_entries]
                     raw_len = sum(len(k) + len(v) for k, v in batch)
                     # in-memory: iterate + serialize, then compress
-                    yield from acct.charge(
+                    _cpu_ev = acct.charge(
                         "serialize",
                         self.cpu_model.serialize_time(raw_len, len(batch)),
                     )
+                    if _cpu_ev is not None:
+                        yield _cpu_ev
                     encoded = writer.chunk(batch)
-                    yield from acct.charge(
+                    _cpu_ev = acct.charge(
                         "compress",
                         self.compression_model.compress_time(raw_len, 1),
                     )
+                    if _cpu_ev is not None:
+                        yield _cpu_ev
                     yield from self.sink.write(encoded, acct)
                     self.stats.entries += len(batch)
                     self.stats.raw_bytes += raw_len

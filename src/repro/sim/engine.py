@@ -12,6 +12,28 @@ The design follows the classic process-interaction style (as in simpy):
 Time is a float. The engine is single-threaded and deterministic:
 events scheduled for the same instant fire in FIFO order of scheduling
 (stable tiebreak by a monotonically increasing sequence number).
+
+Fast path
+---------
+
+The hot loop is tuned for bulk simulation without changing observable
+ordering:
+
+* heap entries are 3-tuples ``(when, key, event)`` where ``key`` folds
+  the (priority, seq) tiebreak into one integer — less tuple churn per
+  schedule/pop;
+* :meth:`Environment.timeout` recycles :class:`Timeout` objects from a
+  pool once their callbacks have run and no outside reference remains
+  (checked via ``sys.getrefcount``, so user-held timeouts — e.g.
+  members of an :class:`AnyOf` deadline — are never reused);
+* when a process yields an event that is *already processed*,
+  :meth:`Process._resume` continues the generator inline instead of
+  scheduling a synthetic wake-up event — but only when that is
+  provably order-identical to the heap round-trip: the resume must be
+  the last callback of the firing event and no other event may be
+  scheduled at the current instant (``fast_resume=True``, the
+  default; ``fast_resume=False`` keeps the classic round-trip as the
+  determinism reference).
 """
 
 from __future__ import annotations
@@ -19,6 +41,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Generator, Iterable
 from collections.abc import Callable
+from sys import getrefcount
 from typing import Any
 
 __all__ = [
@@ -32,7 +55,31 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
+    "track_environments",
+    "tracked_event_total",
 ]
+
+#: when enabled (perf harness only), every Environment created registers
+#: itself here so a measurement shell can total events_processed across
+#: all the environments an experiment builds internally.
+_tracked_envs: list["Environment"] | None = None
+
+
+def track_environments(enable: bool) -> None:
+    """Start (or stop) recording every Environment created from now on.
+
+    Measurement hook for :mod:`repro.bench.perf`: an experiment may
+    build many systems, each with its own environment; tracking lets
+    the harness sum dispatched events without threading a counter
+    through every constructor. Disabling clears the list.
+    """
+    global _tracked_envs
+    _tracked_envs = [] if enable else None
+
+
+def tracked_event_total() -> int:
+    """Total events dispatched by environments created while tracking."""
+    return sum(env.events_processed for env in _tracked_envs or ())
 
 
 class SimulationError(Exception):
@@ -134,8 +181,20 @@ class Event:
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         self._state = _PROCESSED
-        for cb in callbacks:  # type: ignore[union-attr]
-            cb(self)
+        if callbacks:
+            env = self.env
+            if len(callbacks) == 1:
+                env._cb_last = True
+                callbacks[0](self)
+            else:
+                # _cb_last gates Process._resume's inline fast path: a
+                # resume that is not the final callback must keep the
+                # heap round-trip so its siblings run first.
+                env._cb_last = False
+                for cb in callbacks[:-1]:
+                    cb(self)
+                env._cb_last = True
+                callbacks[-1](self)
         if self._exc is not None and not self._defused:
             raise self._exc
 
@@ -231,47 +290,64 @@ class Process(Event):
         if not self.is_alive:
             return
 
-        self.env._active = self
-        try:
-            if event._exc is None:
-                next_ev = self._generator.send(event._value)
-            else:
-                event._defused = True
-                next_ev = self._generator.throw(event._exc)
-        except StopIteration as stop:
-            self.env._active = None
-            self.succeed(stop.value)
-            return
-        except StopProcess as stop:
-            self.env._active = None
-            self._generator.close()
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.env._active = None
-            self.fail(exc)
-            return
-        self.env._active = None
+        env = self.env
+        while True:
+            env._active = self
+            try:
+                if event._exc is None:
+                    next_ev = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = self._generator.throw(event._exc)
+            except StopIteration as stop:
+                env._active = None
+                self.succeed(stop.value)
+                return
+            except StopProcess as stop:
+                env._active = None
+                self._generator.close()
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active = None
+                self.fail(exc)
+                return
+            env._active = None
 
-        if not isinstance(next_ev, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded non-event {next_ev!r}"
-            )
-        if next_ev.env is not self.env:
-            raise SimulationError("yielded event belongs to another environment")
-        if next_ev.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            immediate = Event(self.env)
-            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
-            self._target = immediate
-            if next_ev._exc is None:
-                immediate.succeed(next_ev._value)
+            if not isinstance(next_ev, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}"
+                )
+            if next_ev.env is not env:
+                raise SimulationError(
+                    "yielded event belongs to another environment"
+                )
+            if next_ev.callbacks is None:
+                # Already processed. Continuing the generator inline is
+                # order-identical to the classic synthetic wake-up event
+                # only when that wake-up would have been the very next
+                # thing to run: we are the firing event's last callback
+                # and nothing else is scheduled at this instant.
+                if (
+                    env._fast_resume
+                    and env._cb_last
+                    and (not env._heap or env._heap[0][0] > env._now)
+                ):
+                    event = next_ev
+                    continue
+                # Fallback: resume via the heap at the current time.
+                immediate = Event(env)
+                immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
+                self._target = immediate
+                if next_ev._exc is None:
+                    immediate.succeed(next_ev._value)
+                else:
+                    next_ev._defused = True
+                    immediate.fail(next_ev._exc)
             else:
-                next_ev._defused = True
-                immediate.fail(next_ev._exc)
-        else:
-            next_ev.callbacks.append(self._resume)
-            self._target = next_ev
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+            return
 
 
 class ConditionValue:
@@ -357,14 +433,36 @@ class AnyOf(_Condition):
         return self._fired_count >= 1
 
 
-class Environment:
-    """The simulation clock and event heap."""
+# Initialize events (priority 0) must sort before ordinary events
+# (priority 1) at the same instant regardless of sequence number; the
+# bias folds that two-level tiebreak into a single integer key.
+_INIT_BIAS = 1 << 62
 
-    def __init__(self, initial_time: float = 0.0):
+#: upper bound on recycled Timeout objects kept per environment
+_TIMEOUT_POOL_MAX = 4096
+
+
+class Environment:
+    """The simulation clock and event heap.
+
+    ``fast_resume=True`` (default) enables the order-exact inline
+    resume and timeout-recycling fast paths (see module docstring);
+    ``fast_resume=False`` runs the classic schedule-everything loop
+    and serves as the determinism reference in tests.
+    """
+
+    def __init__(self, initial_time: float = 0.0, fast_resume: bool = True):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active: Process | None = None
+        self._fast_resume = fast_resume
+        self._cb_last = True
+        self._timeout_pool: list[Timeout] = []
+        #: number of heap events dispatched so far (perf accounting)
+        self.events_processed = 0
+        if _tracked_envs is not None:
+            _tracked_envs.append(self)
 
     # -- clock -------------------------------------------------------------
     @property
@@ -380,7 +478,41 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            to = pool.pop()
+            to.delay = delay
+            to._value = value
+            to._exc = None
+            to._defused = False
+            to.callbacks = []
+            to._state = _TRIGGERED
+            self._schedule(to, delay=delay)
+            return to
         return Timeout(self, delay, value)
+
+    def at(self, when: float, value: Any = None) -> Event:
+        """An event that fires at the *absolute* simulation time ``when``.
+
+        Unlike :meth:`timeout`, the firing instant is stored exactly as
+        given instead of being recomputed as ``now + delay`` — so two
+        code paths that schedule from different "now"s still fire at
+        bit-identical instants when they compute ``when`` with the same
+        arithmetic. The batched NAND model relies on this to keep its
+        closed-form completions byte-identical to the per-page
+        realization.
+        """
+        if when < self._now:
+            raise ValueError(f"at({when}) is in the past (now={self._now})")
+        ev = Event(self)
+        ev._value = value
+        ev._state = _TRIGGERED
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, ev))
+        return ev
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         return Process(self, generator, name=name)
@@ -393,20 +525,41 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, seq if priority else seq - _INIT_BIAS, event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def _recycle(self, event: Event) -> None:
+        """Return a spent Timeout to the pool if nothing references it.
+
+        Exactly two references exist when the pop locals are the only
+        holders (the caller's variable plus getrefcount's argument), so
+        timeouts stashed by user code — deadline members of a
+        condition, re-waited timeouts — are never recycled.
+        """
+        if (
+            type(event) is Timeout
+            and getrefcount(event) == 3
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+        ):
+            self._timeout_pool.append(event)
+
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._heap:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _key, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
+        self._recycle(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or exhaustion).
@@ -415,27 +568,63 @@ class Environment:
         * number — run until the clock reaches that time.
         * :class:`Event` — run until it fires; returns its value.
         """
-        if until is None:
-            while self._heap:
-                self.step()
+        heap = self._heap
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        dispatched = 0
+        try:
+            if until is None:
+                while heap:
+                    when, _key, event = heappop(heap)
+                    self._now = when
+                    dispatched += 1
+                    event._run_callbacks()
+                    if (
+                        type(event) is Timeout
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        pool.append(event)
+                return None
+            if isinstance(until, Event):
+                sentinel: list[Any] = []
+                if until.callbacks is not None:
+                    until.callbacks.append(lambda ev: sentinel.append(ev))
+                else:
+                    sentinel.append(until)
+                while not sentinel:
+                    if not heap:
+                        raise SimulationError(
+                            "event heap exhausted before awaited event fired"
+                        )
+                    when, _key, event = heappop(heap)
+                    self._now = when
+                    dispatched += 1
+                    event._run_callbacks()
+                    if (
+                        type(event) is Timeout
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        pool.append(event)
+                return until.value
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+            while heap and heap[0][0] <= stop_at:
+                when, _key, event = heappop(heap)
+                self._now = when
+                dispatched += 1
+                event._run_callbacks()
+                if (
+                    type(event) is Timeout
+                    and getrefcount(event) == 2
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                ):
+                    pool.append(event)
+            self._now = stop_at
             return None
-        if isinstance(until, Event):
-            sentinel: list[Any] = []
-            if until.callbacks is not None:
-                until.callbacks.append(lambda ev: sentinel.append(ev))
-            else:
-                sentinel.append(until)
-            while not sentinel:
-                if not self._heap:
-                    raise SimulationError(
-                        "event heap exhausted before awaited event fired"
-                    )
-                self.step()
-            return until.value
-        stop_at = float(until)
-        if stop_at < self._now:
-            raise ValueError(f"until={stop_at} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= stop_at:
-            self.step()
-        self._now = stop_at
-        return None
+        finally:
+            self.events_processed += dispatched

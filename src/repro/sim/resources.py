@@ -15,7 +15,7 @@ import heapq
 from collections import deque
 from typing import Any
 
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import _PROCESSED, Environment, Event
 
 __all__ = ["Request", "Release", "Resource", "PriorityResource", "Lock", "Store"]
 
@@ -31,6 +31,14 @@ class Request(Event):
         yield req
         ...critical section...
         resource.release(req)
+
+    An uncontended request is granted *at birth*: it comes back already
+    processed (yielding it resumes the process straight away) without a
+    trip through the event heap. Contended requests queue and fire when
+    a slot frees, exactly as before. Birth grants are unconditional
+    (not gated on ``fast_resume``): burst code in the NAND layer runs
+    grant continuations synchronously at creation time, and the grant
+    instant must not depend on engine tuning flags.
     """
 
     __slots__ = ("resource", "priority", "_key")
@@ -39,10 +47,15 @@ class Request(Event):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
-        self._key = (priority, resource._seq)
-        resource._seq += 1
-        resource._enqueue(self)
-        resource._trigger()
+        # Invariant: a non-empty wait queue implies all slots are held
+        # (every release immediately re-grants), so a free slot means
+        # this request can be granted synchronously.
+        if len(resource.users) < resource.capacity and not resource.queue_len:
+            resource.users.append(self)
+            self._state = _PROCESSED
+            self.callbacks = None
+        else:
+            resource._enqueue(self)
 
     def cancel(self) -> None:
         """Withdraw an ungranted request (e.g. after an Interrupt)."""
@@ -51,9 +64,18 @@ class Request(Event):
 
 
 class Release(Event):
-    """Immediate event confirming a release (fires at once)."""
+    """Immediate event confirming a release.
+
+    Born already processed: nothing ever waits on a release, so it
+    skips the heap entirely (yielding one resumes immediately).
+    """
 
     __slots__ = ()
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._state = _PROCESSED
+        self.callbacks = None
 
 
 class Resource:
@@ -66,7 +88,7 @@ class Resource:
         self.capacity = capacity
         self.users: list[Request] = []
         self._queue: deque[Request] = deque()
-        self._seq = 0
+        self._release_ev: Release | None = None
 
     # queue discipline hooks -------------------------------------------------
     def _enqueue(self, request: Request) -> None:
@@ -98,8 +120,11 @@ class Resource:
         if request not in self.users:
             raise ValueError("releasing a request that does not hold the resource")
         self.users.remove(request)
-        ev = Release(self.env)
-        ev.succeed()
+        # A Release is stateless (born processed, no callbacks), so one
+        # shared instance per resource serves every confirmation.
+        ev = self._release_ev
+        if ev is None:
+            ev = self._release_ev = Release(self.env)
         self._trigger()
         return ev
 
@@ -121,8 +146,14 @@ class PriorityResource(Resource):
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
         self._pqueue: list[tuple[tuple[float, int], Request]] = []
+        self._seq = 0
 
     def _enqueue(self, request: Request) -> None:
+        # The FIFO tie-break key is assigned here, not at request
+        # creation: only queued requests ever need one, and enqueue
+        # order equals creation order.
+        request._key = (request.priority, self._seq)
+        self._seq += 1
         heapq.heappush(self._pqueue, (request._key, request))
 
     def _dequeue(self) -> Request | None:
@@ -192,8 +223,18 @@ class StorePut(Event):
     def __init__(self, store: Store, item: Any):
         super().__init__(store.env)
         self.item = item
-        store._puts.append(self)
-        store._trigger()
+        # Accepted at birth when there is room and no earlier put is
+        # blocked (FIFO fairness); the heap is only involved when the
+        # put must wait for space.
+        if not store._puts and len(store.items) < store.capacity:
+            store.items.append(item)
+            self._state = _PROCESSED
+            self.callbacks = None
+            if store._gets:
+                store._trigger()
+        else:
+            store._puts.append(self)
+            store._trigger()
 
 
 class StoreGet(Event):
@@ -201,8 +242,15 @@ class StoreGet(Event):
 
     def __init__(self, store: Store):
         super().__init__(store.env)
-        store._gets.append(self)
-        store._trigger()
+        if not store._gets and store.items:
+            self._value = store.items.popleft()
+            self._state = _PROCESSED
+            self.callbacks = None
+            if store._puts:
+                store._trigger()
+        else:
+            store._gets.append(self)
+            store._trigger()
 
 
 class Store:

@@ -23,6 +23,10 @@ __all__ = ["make_key", "make_value", "UniformKeys", "ZipfianKeys"]
 
 _TEMPLATE_POOL_SIZE = 32
 _templates: dict[tuple[int, float], list[bytes]] = {}
+#: memoized values — workloads revisit a small key set constantly, and
+#: make_value is a pure function of its arguments
+_value_cache: dict[tuple[bytes, int, float], bytes] = {}
+_VALUE_CACHE_CAP = 1 << 16
 
 
 def make_key(index: int, width: int = 8) -> bytes:
@@ -54,13 +58,22 @@ def make_value(key: bytes, size: int,
     """
     if size < 1:
         raise ValueError("value size must be >= 1")
+    cache_key = (key, size, incompressible_fraction)
+    value = _value_cache.get(cache_key)
+    if value is not None:
+        return value
     digest = hashlib.blake2b(key, digest_size=8).digest()
     header = digest + struct.pack("<I", size)
     if size <= len(header):
-        return header[:size]
-    pool = _template_pool(size, incompressible_fraction)
-    template = pool[digest[0] % _TEMPLATE_POOL_SIZE]
-    return (header + template)[:size]
+        value = header[:size]
+    else:
+        pool = _template_pool(size, incompressible_fraction)
+        template = pool[digest[0] % _TEMPLATE_POOL_SIZE]
+        value = (header + template)[:size]
+    if len(_value_cache) >= _VALUE_CACHE_CAP:
+        _value_cache.clear()
+    _value_cache[cache_key] = value
+    return value
 
 
 class UniformKeys:

@@ -59,9 +59,19 @@ def test_slim003_wall_clock_and_unseeded_random():
                              package="workloads")) == ["SLIM003"]
 
 
-def test_slim003_perf_counter_and_seeded_rng_allowed():
-    assert lint_source("import time\nt = time.perf_counter()\n",
+def test_slim003_perf_counter_scoped_to_measurement_shells():
+    src = "import time\nt = time.perf_counter()\n"
+    assert lint_source(src, path="src/repro/bench/__main__.py",
                        package="bench").ok
+    assert lint_source(src, path="src/repro/bench/perf.py",
+                       package="bench").ok
+    # everywhere else perf_counter is a wall-clock leak
+    assert codes(lint_source(src, path="src/repro/imdb/server.py",
+                             package="imdb")) == ["SLIM003"]
+    assert codes(lint_source(src, package="bench")) == ["SLIM003"]
+
+
+def test_slim003_seeded_rng_allowed():
     assert lint_source("import random\nr = random.Random(42)\n",
                        package="workloads").ok
 

@@ -1,0 +1,51 @@
+"""The on-disk result cache: keying, roundtrip, corruption recovery."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench import cache
+from repro.bench.scales import TEST_SCALE, BENCH_SCALE
+
+
+def test_key_is_stable_and_input_sensitive():
+    k1 = cache.cache_key("table3", TEST_SCALE)
+    assert k1 == cache.cache_key("table3", TEST_SCALE)
+    assert k1 != cache.cache_key("table4", TEST_SCALE)
+    assert k1 != cache.cache_key("table3", BENCH_SCALE)
+    # any scale-field change must miss — fast lanes included, since
+    # they are part of what a cached result claims to represent
+    assert k1 != cache.cache_key("table3",
+                                 replace(TEST_SCALE, batched=False))
+
+
+def test_key_changes_with_code_digest(monkeypatch):
+    k1 = cache.cache_key("table3", TEST_SCALE)
+    monkeypatch.setattr(cache, "_code_digest", "different-tree")
+    assert cache.cache_key("table3", TEST_SCALE) != k1
+
+
+def test_roundtrip(tmp_path):
+    key = cache.cache_key("table1", TEST_SCALE)
+    assert cache.load(key, tmp_path) is None  # cold miss
+    cache.store(key, "table1", "report body\n", True, tmp_path)
+    assert cache.load(key, tmp_path) == ("report body\n", True)
+
+
+def test_corrupt_entry_is_discarded(tmp_path):
+    key = cache.cache_key("table1", TEST_SCALE)
+    path = cache.store(key, "table1", "report body\n", False, tmp_path)
+
+    path.write_text("{not json")
+    assert cache.load(key, tmp_path) is None
+    assert not path.exists()  # removed so the recompute can overwrite
+
+    # checksum mismatch (silent bit rot) is also a miss
+    cache.store(key, "table1", "report body\n", False, tmp_path)
+    payload = path.read_text().replace("report body", "tampered bod")
+    path.write_text(payload)
+    assert cache.load(key, tmp_path) is None
+
+    # and the slot is reusable afterwards
+    cache.store(key, "table1", "report body\n", True, tmp_path)
+    assert cache.load(key, tmp_path) == ("report body\n", True)

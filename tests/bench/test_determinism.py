@@ -1,0 +1,82 @@
+"""The fast-lane determinism contract (see docs/PERFORMANCE.md).
+
+The simulator's optimized paths — engine inline resume, batched NAND
+bursts, memoized model code — must be *result-invariant*: every
+experiment report is byte-identical whether the fast lanes are on or
+off, run to run, and serial or parallel. These tests are the contract;
+an engine change that breaks ordering shows up here as a digest
+mismatch naming the experiment.
+
+The matrix runs at a shrunken scale so the full experiment set stays
+affordable in CI; the fast/slow pairing is what matters, not the
+absolute op counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.scales import TEST_SCALE
+
+#: TEST_SCALE shrunk ~4x: big enough that WAL triggers fire and GC
+#: runs (the interesting orderings), small enough for a full matrix
+TINY = replace(
+    TEST_SCALE,
+    redis_ops=4_000,
+    redis_keys=200,
+    ycsb_ops=2_500,
+    ycsb_keys=400,
+    warmup_ops=500,
+    wal_trigger_bytes=2 * 1024 * 1024,
+    gc_heavy_trigger_bytes=2 * 1024 * 1024,
+)
+
+
+def _digest(name: str, *, batched: bool, fast_sim: bool) -> str:
+    scale = replace(TINY, batched=batched, fast_sim=fast_sim)
+    report = EXPERIMENTS[name](scale).format()
+    return hashlib.sha256(report.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("name", list(EXPERIMENTS))
+def test_batched_fast_path_is_result_invariant(name):
+    """Fast lanes on vs fully off: byte-identical reports."""
+    fast = _digest(name, batched=True, fast_sim=True)
+    slow = _digest(name, batched=False, fast_sim=False)
+    assert fast == slow, (
+        f"{name}: optimized report diverged from the reference path"
+    )
+
+
+@pytest.mark.parametrize("name", ["table1", "figure4"])
+def test_each_lane_is_independently_invariant(name):
+    """The two knobs are independent; each alone must be inert too."""
+    fast = _digest(name, batched=True, fast_sim=True)
+    assert _digest(name, batched=False, fast_sim=True) == fast
+    assert _digest(name, batched=True, fast_sim=False) == fast
+
+
+def test_run_to_run_identical():
+    """Same config twice in one process: no hidden global state."""
+    assert _digest("table3", batched=True, fast_sim=True) == \
+        _digest("table3", batched=True, fast_sim=True)
+
+
+def test_jobs_serial_vs_parallel_identical(tmp_path):
+    """--jobs 1 and --jobs 4 write byte-identical report files."""
+    from repro.bench.__main__ import main
+
+    serial = tmp_path / "serial.txt"
+    parallel = tmp_path / "parallel.txt"
+    args = ["table1", "table2", "--scale", "test",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(args + ["--out", str(serial), "--jobs", "1"]) == 0
+    # --refresh so the parallel pass recomputes in worker processes
+    # instead of replaying the serial pass's cache entries
+    assert main(args + ["--out", str(parallel), "--jobs", "4",
+                        "--refresh"]) == 0
+    assert serial.read_bytes() == parallel.read_bytes()

@@ -36,6 +36,38 @@ def test_error_raise_propagates():
         sweep({"a": [1], "explode": [True]}, fake_runner)
 
 
+def test_best_skips_error_rows():
+    res = sweep({"a": [1, 3], "explode": [False, True]}, fake_runner,
+                on_error="skip")
+    # errored rows (a=1/3 with explode=True) may not win even though
+    # max() over a mixed dict would have raised KeyError before
+    assert res.best("score")["a"] == 3
+    assert res.best("score")["explode"] is False
+
+
+def test_best_all_rows_errored():
+    res = sweep({"explode": [True, True]}, fake_runner, on_error="skip")
+    with pytest.raises(ValueError, match="no successful rows"):
+        res.best("score")
+
+
+def test_parallel_jobs_match_serial():
+    grid = {"a": [1, 2, 3], "b": [0, 5], "explode": [False, True]}
+    serial = sweep(grid, fake_runner, on_error="skip")
+    parallel = sweep(grid, fake_runner, on_error="skip", jobs=3)
+    assert parallel.rows == serial.rows  # same content, same order
+
+
+def test_parallel_raise_names_failed_point():
+    with pytest.raises(RuntimeError, match="explode"):
+        sweep({"a": [1, 2], "explode": [True]}, fake_runner, jobs=2)
+
+
+def test_invalid_jobs():
+    with pytest.raises(ValueError):
+        sweep({"a": [1]}, fake_runner, jobs=0)
+
+
 def test_invalid_on_error():
     with pytest.raises(ValueError):
         sweep({"a": [1]}, fake_runner, on_error="ignore")

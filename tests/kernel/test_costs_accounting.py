@@ -24,9 +24,9 @@ def test_account_charge_consumes_sim_time():
     acct = CpuAccount(env, "p")
 
     def proc():
-        yield from acct.charge("fs", 5e-6)
-        yield from acct.charge("fs", 3e-6)
-        yield from acct.charge("copy", 1e-6)
+        yield acct.charge("fs", 5e-6)
+        yield acct.charge("fs", 3e-6)
+        yield acct.charge("copy", 1e-6)
 
     p = env.process(proc())
     env.run(until=p)
@@ -58,12 +58,8 @@ def test_account_rejects_negative():
     with pytest.raises(ValueError):
         acct.note("x", -1)
 
-    def proc():
-        yield from acct.charge("x", -1)
-
-    env.process(proc())
     with pytest.raises(ValueError):
-        env.run()
+        acct.charge("x", -1)
 
 
 def test_account_breakdown_snapshot():
@@ -75,12 +71,11 @@ def test_account_breakdown_snapshot():
 
 
 def test_charge_zero_dt_yields_no_timeout():
-    """A dt=0 charge must not yield — the caller would pay a
+    """A dt=0 charge must return None — the caller would pay a
     scheduler round-trip (and a heap event) for nothing."""
     env = Environment()
     acct = CpuAccount(env, "p")
-    gen = acct.charge("fs", 0.0)
-    assert list(gen) == []  # generator completes without yielding
+    assert acct.charge("fs", 0.0) is None
     assert acct.time_in("fs") == 0.0
     assert env.now == 0.0
     # and it still registers the component for breakdown purposes
@@ -92,9 +87,9 @@ def test_charge_zero_between_real_charges_keeps_attribution():
     acct = CpuAccount(env, "p")
 
     def proc():
-        yield from acct.charge("fs", 2e-6)
-        yield from acct.charge("fs", 0.0)
-        yield from acct.charge("fs", 3e-6)
+        yield acct.charge("fs", 2e-6)
+        assert acct.charge("fs", 0.0) is None
+        yield acct.charge("fs", 3e-6)
 
     env.run(until=env.process(proc()))
     assert env.now == pytest.approx(5e-6)
@@ -108,7 +103,7 @@ def test_note_vs_charge_attribution():
     acct = CpuAccount(env, "p")
 
     def proc():
-        yield from acct.charge("ssd_wait", 1e-6)
+        yield acct.charge("ssd_wait", 1e-6)
 
     env.run(until=env.process(proc()))
     acct.note("ssd_wait", 4e-6)
