@@ -21,12 +21,13 @@ The rules (see docs/ANALYSIS.md for the full rationale):
   unseeded randomness anywhere in the tree; the simulation must be
   deterministic. ``time.perf_counter`` is allowed only in the
   designated measurement shells (``bench/__main__.py``,
-  ``bench/perf.py``) — the harness code that times the simulator from
-  outside; anywhere else it is a wall-clock leak into simulated
-  behavior.
+  ``bench/perf.py``, ``faults/__main__.py``) — the harness code that
+  times the simulator from outside; anywhere else it is a wall-clock
+  leak into simulated behavior.
 * **SLIM004** — package imports must respect the layering
   ``sim < obs < flash < nvme < kernel < persist < imdb < core <
-  analysis < workloads < cluster < bench``; only module-level imports
+  analysis < faults/workloads < cluster < bench``; only module-level
+  imports
   are checked (function-local imports are the sanctioned escape hatch
   for build-time wiring).
 * **SLIM005** — every ``MetricsRegistry`` instrument name follows the
@@ -100,6 +101,9 @@ LAYER_RANKS = {
     "imdb": 6,
     "core": 7,
     "analysis": 8,
+    # fault injection wraps devices and boots whole systems, so it sits
+    # above core (the engine reaches it only via lazy import)
+    "faults": 9,
     "workloads": 9,
     "cluster": 10,
     "bench": 11,
@@ -146,7 +150,9 @@ def _find(ctx: ModuleContext, code: str, node: ast.AST, msg: str) -> Finding:
 # SLIM001 — direct device data-plane access
 # --------------------------------------------------------------------------
 
-_SLIM001_ALLOWED = {"kernel", "nvme", "flash", "analysis"}
+#: faults is allowed raw access: the injector tears/restores page images
+#: (peek/poke) and forwards submit() as a device proxy, below any ring
+_SLIM001_ALLOWED = {"kernel", "nvme", "flash", "analysis", "faults"}
 
 
 def _check_device_access(tree: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
@@ -211,7 +217,8 @@ _WALL_CLOCK = {
 #: the CLI that times regeneration and the perf harness — may call it;
 #: model code that needs "now" must use the Environment clock.
 _PERF_COUNTER = {("time", "perf_counter"), ("time", "perf_counter_ns")}
-_SLIM003_MEASUREMENT_FILES = ("bench/__main__.py", "bench/perf.py")
+_SLIM003_MEASUREMENT_FILES = ("bench/__main__.py", "bench/perf.py",
+                              "faults/__main__.py")
 _RANDOM_MODULE_FNS = {
     "random", "randint", "randrange", "uniform", "choice", "choices",
     "shuffle", "sample", "gauss", "betavariate", "expovariate", "seed",

@@ -116,6 +116,13 @@ class _GuardedSlots(SnapshotSlots):
         san.slots_written.discard(reserve)
         return old
 
+    def restore_state(self, state):
+        # a reverted promotion (durable metadata write failed) puts the
+        # written-but-unpublished snapshot back in the reserve slot, so
+        # re-register it as written — a retry may legally promote it
+        super().restore_state(state)
+        self._sanitizer.slots_written.add(self.reserve_slot)
+
 
 class SlimIOSanitizer:
     """Per-system coordinator for the runtime checks.
@@ -173,11 +180,18 @@ class SlimIOSanitizer:
         self.fork_detector = ForkRaceDetector(server)
 
     def notify_recovery(self) -> None:
-        """Recovery restored the WAL cursor; resume tracking there."""
+        """Recovery restored the WAL cursor; resume tracking there.
+
+        The last live page stays rewritable: recovery re-stages a
+        partial tail page, so the first post-recovery flush overwrites
+        it in place — the same allowance every flush gets in steady
+        state.
+        """
         assert self.space is not None
         wal = self.space.wal
         self._wal_next = wal.vpn_to_lba(wal.head)
-        self._wal_tail = None
+        self._wal_tail = (wal.vpn_to_lba(wal.head - 1)
+                          if wal.head > wal.gen_start else None)
 
     # ------------------------------------------------------------------ checks
     def fail(self, msg: str) -> None:

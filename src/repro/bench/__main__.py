@@ -27,8 +27,8 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.bench.scales import get_scale
 
 
-def _run_experiment(name: str, scale_name: str,
-                    sanitize: bool) -> tuple[str, bool, float]:
+def _run_experiment(name: str, scale_name: str, sanitize: bool,
+                    faults: bool = False) -> tuple[str, bool, float]:
     """One experiment -> (report text, shapes ok, wall seconds).
 
     Module-level so it pickles as a ``ProcessPoolExecutor`` work unit;
@@ -38,6 +38,8 @@ def _run_experiment(name: str, scale_name: str,
     scale = get_scale(scale_name)
     if sanitize:
         scale = replace(scale, sanitize=True)
+    if faults:
+        scale = replace(scale, faults=True)
     t0 = time.perf_counter()
     result = EXPERIMENTS[name](scale)
     elapsed = time.perf_counter() - t0
@@ -83,6 +85,12 @@ def main(argv=None) -> int:
                              "sanitizers active on every SlimIO system "
                              "(validates region/PID placement, slot "
                              "promotion, and fork-race freedom)")
+    parser.add_argument("--faults", action="store_true",
+                        help="run every SlimIO system under the "
+                             "repro.faults transient-error injector "
+                             "(seeded NVMe errors absorbed by the ring "
+                             "retry policy; cached separately from "
+                             "default reports)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -96,6 +104,8 @@ def main(argv=None) -> int:
     scale = get_scale(args.scale)
     if args.sanitize:
         scale = replace(scale, sanitize=True)
+    if args.faults:
+        scale = replace(scale, faults=True)
     if "all" in args.experiments:
         names = list(EXPERIMENTS)
     else:
@@ -126,7 +136,8 @@ def main(argv=None) -> int:
 
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             futures = {name: pool.submit(_run_experiment, name,
-                                         scale.name, args.sanitize)
+                                         scale.name, args.sanitize,
+                                         args.faults)
                        for name in todo}
             for name in todo:
                 text, ok, elapsed = futures[name].result()
@@ -135,7 +146,7 @@ def main(argv=None) -> int:
     else:
         for name in todo:
             text, ok, elapsed = _run_experiment(name, scale.name,
-                                                args.sanitize)
+                                                args.sanitize, args.faults)
             done[name] = (text, ok)
             print(f"({name}: {elapsed:.1f}s wall)", file=sys.stderr)
 

@@ -58,6 +58,11 @@ class Scale:
     #: run every experiment with the repro.analysis runtime sanitizers
     #: active on SlimIO systems (``python -m repro.bench --sanitize``)
     sanitize: bool = False
+    #: run every SlimIO system under the repro.faults transient-error
+    #: injector (``python -m repro.bench --faults``); errors are seeded
+    #: and absorbed by the ring's RetryPolicy, and the flag is part of
+    #: the cache key, so default reports are never perturbed
+    faults: bool = False
     #: simulator fast lanes (result-invariant; see SystemConfig)
     batched: bool = True
     fast_sim: bool = True
@@ -109,6 +114,7 @@ class Scale:
             wal_buffer_limit_bytes=4 * MB,
             fs_extent_pages=64,
             sanitize=self.sanitize,
+            faults=self.faults,
             batched=self.batched,
             fast_sim=self.fast_sim,
         )

@@ -101,6 +101,13 @@ class SystemConfig:
     #: promotion is guarded, and fork-snapshot races are detected.
     #: Ignored by the baseline (its invariants live in the fs layer).
     sanitize: bool = False
+    #: wrap the SlimIO device in a repro.faults transient-error
+    #: injector (seeded NVMe errors/timeouts absorbed by the ring's
+    #: RetryPolicy). Power cuts are driven by the crash-matrix harness,
+    #: not this flag. Ignored by the baseline, whose block layer has no
+    #: retry path.
+    faults: bool = False
+    fault_seed: int = 20260807
 
     # simulator performance knobs — both are result-invariant: any
     # combination produces byte-identical reports (pinned by
@@ -248,6 +255,15 @@ class SlimIOSystem(_SystemBase):
         if self.device.fdp:
             validate_placement(config.placement, self.device.num_pids,
                                context=f"the device backing {name!r}")
+        self.fault_injector = None
+        if config.faults:
+            # lazy import: faults sits above core in the layering
+            from repro.faults import ErrorSpec, FaultyDevice
+
+            self.fault_injector = FaultyDevice(
+                self.device, errors=ErrorSpec.light(config.fault_seed)
+            )
+            self.device = self.fault_injector
         self.sanitizer = None
         if config.sanitize:
             # lazy import: analysis sits above core in the layering
@@ -323,8 +339,17 @@ class SlimIOSystem(_SystemBase):
         return source
 
     def recover(self, kind: SnapshotKind = SnapshotKind.WAL_TRIGGERED,
-                account: CpuAccount | None = None) -> Generator:
-        """§4.2 recovery: metadata → snapshot slot → WAL replay."""
+                account: CpuAccount | None = None,
+                strict_wal: bool = False) -> Generator:
+        """§4.2 recovery: metadata → snapshot slot → WAL replay.
+
+        After replay the WAL region beyond the recovered head is
+        TRIMmed: a crash can strand stale retired-generation pages
+        (``retire_previous`` interrupted mid-deallocate) or torn-flush
+        fragments there, and future appends must land on blank pages.
+        ``strict_wal`` escalates interior WAL corruption to an
+        exception (see :func:`repro.persist.recover_store`).
+        """
         acct = account or CpuAccount(self.env, f"{self.name}-recovery")
         meta = yield from self.meta_store.read(acct)
         if meta is not None:
@@ -338,14 +363,21 @@ class SlimIOSystem(_SystemBase):
         role = SlotRole.for_kind(kind)
         if meta is not None and self.space.slots.slot_of(role) is not None:
             source = self.snapshot_source(kind)
-        wal_sink = self.wal_path if meta is not None else None
+        # Replay the WAL even with no valid metadata: a crash before
+        # (or tearing) the first-ever metadata write leaves acknowledged
+        # records on flash with both A/B copies blank — the forward
+        # scan finds them from the fresh space's vpn 0. On a genuinely
+        # blank device this costs one zero-page probe read.
+        wal_sink = self.wal_path
         result = yield from recover_store(
             self.env, source, wal_sink, acct,
             Compressor(level=self.config.compression_level,
                        model=self.config.compression),
             self.config.compression,
             obs=self.obs,
+            strict_wal=strict_wal,
         )
+        yield from self.wal_path.trim_beyond_head(acct)
         if self.sanitizer is not None:
             self.sanitizer.notify_recovery()
         return result

@@ -129,6 +129,22 @@ class SnapshotSlots:
         self.roles[unused] = SlotRole.RESERVE
         return None
 
+    def snapshot_state(self) -> tuple[list[SlotRole], list[int]]:
+        """Capture (roles, lengths) so a failed promotion can revert."""
+        return list(self.roles), list(self.lengths)
+
+    def restore_state(self, state: tuple[list[SlotRole], list[int]]) -> None:
+        """Revert to a state captured by :meth:`snapshot_state`.
+
+        Used when the durable metadata write after a promotion fails:
+        the in-memory roles must roll back to match what is on flash,
+        or the next metadata write would publish a promotion whose
+        snapshot the caller has already abandoned.
+        """
+        roles, lengths = state
+        self.roles = list(roles)
+        self.lengths = list(lengths)
+
     def check_invariants(self) -> None:
         if self.roles.count(SlotRole.RESERVE) != 1:
             raise AssertionError("must have exactly one reserve slot")
@@ -145,6 +161,10 @@ class WalRegion:
         self.gen_start = 0  # vpn
         self.head = 0  # vpn, next page to write
         self.prev_start: int | None = None  # retired gen awaiting dealloc
+        #: logical byte length of the previous generation — lives here
+        #: (not on the WAL path) so *every* metadata writer can build a
+        #: complete, consistent Metadata from space state alone
+        self.prev_bytes = 0
 
     @property
     def wal_pages(self) -> int:
@@ -193,6 +213,7 @@ class WalRegion:
     def retire_previous(self) -> None:
         """Previous generation fully deallocated."""
         self.prev_start = None
+        self.prev_bytes = 0
 
 
 class LbaSpaceManager:

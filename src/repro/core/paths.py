@@ -34,16 +34,37 @@ from repro.core.readahead import ReadAheadBuffer
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.iouring import PassthruQueuePair
 from repro.nvme import ReadCmd, WriteCmd
+from repro.persist.encoding import AofCodec
 from repro.persist.interfaces import AppendSink, SnapshotSink, SnapshotSource
 from repro.persist.snapshot import SnapshotKind
 from repro.sim import Environment, Event, Resource
 
-__all__ = ["WalPath", "SnapshotPath", "SlimIOSnapshotSource"]
+__all__ = ["WalPath", "SnapshotPath", "SlimIOSnapshotSource",
+           "current_metadata"]
 
 
 def _pad_to_page(data: bytes, page: int) -> bytes:
     rem = len(data) % page
     return data if rem == 0 else data + bytes(page - rem)
+
+
+def current_metadata(space: LbaSpaceManager) -> Metadata:
+    """A complete Metadata image of the space state *right now*.
+
+    Every durable metadata write — the WAL head hint, generation
+    rotation, snapshot promotion — must go through this one builder:
+    recovery picks the copy with the highest seqno, so any writer that
+    omits a field (the old snapshot-finalize path dropped the
+    ``wal_prev_*`` handoff) durably erases another writer's state.
+    """
+    return Metadata(
+        wal_gen_start=space.wal.gen_start,
+        wal_head=space.wal.head,
+        wal_prev_start=space.wal.prev_start,
+        wal_prev_bytes=space.wal.prev_bytes,
+        slot_roles=[int(r) for r in space.slots.roles],
+        slot_lengths=list(space.slots.lengths),
+    )
 
 
 class WalPath(AppendSink):
@@ -75,9 +96,18 @@ class WalPath(AppendSink):
         # start page from stale _tail_vpn and overwrite each other
         self._flush_lock = Resource(env, capacity=1)
         self._gen_bytes = 0
-        self._prev_gen_bytes = 0  # logical length of the retiring generation
         self._meta_inflight: Event | None = None
         self.obs = None
+
+    @property
+    def _prev_gen_bytes(self) -> int:
+        """Logical length of the retiring generation (space-owned state,
+        kept on :class:`WalRegion` so every metadata writer sees it)."""
+        return self.space.wal.prev_bytes
+
+    @_prev_gen_bytes.setter
+    def _prev_gen_bytes(self, value: int) -> None:
+        self.space.wal.prev_bytes = value
 
     def attach_obs(self, registry) -> None:
         """Register instruments: flush sizes and device page traffic."""
@@ -159,11 +189,18 @@ class WalPath(AppendSink):
         """Persist the WAL head hint without waiting for it."""
         if self._meta_inflight is not None and not self._meta_inflight.processed:
             return  # one in flight is enough: it's only a hint
-        meta = self._current_meta()
         done = self.env.event()
 
         def _writer():
-            yield from self.meta.write(meta, self.account)
+            # Build the metadata at *write* time, inside the async
+            # process — not when it is scheduled. A snapshot promotion
+            # or generation rotation can land between the two, and the
+            # seqno is assigned when meta.write runs: a stale capture
+            # written later wins the A/B election and durably reverts
+            # the promotion (whose old slot is already deallocated) —
+            # a recovered server would then read a trimmed slot as its
+            # published snapshot.
+            yield from self.meta.write(self._current_meta(), self.account)
             done.succeed()
 
         self.env.process(_writer(), name="wal-meta")
@@ -174,14 +211,7 @@ class WalPath(AppendSink):
         yield  # pragma: no cover
 
     def _current_meta(self) -> Metadata:
-        return Metadata(
-            wal_gen_start=self.space.wal.gen_start,
-            wal_head=self.space.wal.head,
-            wal_prev_start=self.space.wal.prev_start,
-            wal_prev_bytes=self._prev_gen_bytes,
-            slot_roles=[int(r) for r in self.space.slots.roles],
-            slot_lengths=list(self.space.slots.lengths),
-        )
+        return current_metadata(self.space)
 
     def begin_generation(self, account: CpuAccount) -> Generator:
         """Start a new generation at the fork; the old one stays live.
@@ -208,8 +238,7 @@ class WalPath(AppendSink):
         if wal.prev_start is None:
             return
         retired_start, retired_end = wal.prev_start, wal.gen_start
-        wal.retire_previous()
-        self._prev_gen_bytes = 0
+        wal.retire_previous()  # also zeroes wal.prev_bytes
         yield from self.meta.write(self._current_meta(), account)
         for lba, n in wal.contiguous_run(
             retired_start, retired_end - retired_start
@@ -222,11 +251,24 @@ class WalPath(AppendSink):
         """Read every live generation (recovery; CRC-delimited tail).
 
         Reads from the oldest live generation through the metadata head
-        hint, then keeps scanning page batches until a batch of zero
-        pages — the head hint may lag the last durable flush.
+        hint, then keeps scanning forward — the head hint may lag the
+        last durable flush. Adoption beyond the hint is *decode-driven*:
+        a page joins the live head only while the CRC-validated record
+        stream extends into it. Any nonzero-but-invalid page past the
+        stream (a torn flush, or stale pages of a retired generation
+        whose TRIM a crash interrupted) is left outside the head rather
+        than adopted — adopting it would park the append cursor after
+        garbage and strand every post-recovery record behind an
+        undecodable gap on the *next* recovery.
+
+        Also restores the append cursor (tail page staging) to the true
+        durable tail, so post-recovery appends continue the record
+        stream contiguously instead of leaving a zero-padding hole that
+        a later replay would mistake for the end of the log.
         """
         yield from self.flush(account)  # no-op post-crash; convenience live
         wal = self.space.wal
+        page = self.ring.device.lba_size
         blob = bytearray()
         # previous generation first, trimmed to its logical length so the
         # page padding at its tail doesn't break the record stream
@@ -234,24 +276,102 @@ class WalPath(AppendSink):
             prev = yield from self._read_range(
                 wal.prev_start, wal.gen_start, account
             )
-            blob.extend(prev[: self._prev_gen_bytes])
+            kept = prev[: self._prev_gen_bytes]
+            if AofCodec.scan(bytes(kept)).consumed == len(kept):
+                blob.extend(kept)
+            else:
+                # The prev region does not decode to its recorded length:
+                # retire_previous TRIMmed it (fully or partially) before a
+                # later metadata write could clear wal_prev_start. A TRIM
+                # only ever starts once the covering snapshot is durable,
+                # so these records are safe to drop — replaying a damaged
+                # fragment would instead poison the scan and discard the
+                # *current* generation's acked records after it.
+                wal.prev_start = None
+                self._prev_gen_bytes = 0
+        gen_off = len(blob)  # byte offset where the current gen starts
         # current generation through the metadata head hint
         cur = yield from self._read_range(wal.gen_start, wal.head, account)
         blob.extend(cur)
-        # scan beyond the hint (bounded by region capacity): the durable
-        # head may be ahead of the last persisted metadata
+        consumed = AofCodec.scan(bytes(blob)).consumed
+        # scan beyond the hint (bounded by region capacity)
         vpn = wal.head
         oldest = wal.prev_start if wal.prev_start is not None else wal.gen_start
         limit = oldest + wal.wal_pages
         while vpn < limit:
             n = min(16, limit - vpn)
             chunk = yield from self._read_range(vpn, vpn + n, account)
-            vpn += n
             if not any(chunk):
                 break
+            base = len(blob)
             blob.extend(chunk)
-            wal.head = vpn  # adopt scanned pages into the live head
+            new_consumed = AofCodec.scan(bytes(blob), start=consumed).consumed
+            if new_consumed <= base:
+                # no valid record reaches into this chunk: stale/torn
+                del blob[base:]
+                break
+            consumed = new_consumed
+            adopted = -(-(consumed - base) // page)  # pages the stream reaches
+            if adopted < n:
+                del blob[base + adopted * page:]
+                vpn += adopted
+                wal.head = vpn
+                break
+            vpn += n
+            wal.head = vpn  # adopt validated pages into the live head
+        self._restore_cursor(blob, consumed, gen_off, page)
         return bytes(blob)
+
+    def _restore_cursor(self, blob: bytearray, consumed: int, gen_off: int,
+                        page: int) -> None:
+        """Re-stage the partial tail page of the recovered stream.
+
+        ``consumed`` is the end of the valid record stream within
+        ``blob``; everything after it in the same page is a torn
+        fragment or padding that the next flush must overwrite in place
+        — otherwise the record stream acquires an interior zero gap and
+        every record appended after recovery is silently unreachable by
+        the following recovery.
+        """
+        rel = consumed - gen_off  # valid bytes of the current generation
+        wal = self.space.wal
+        if rel <= 0:
+            # tear inside the previous generation: the current gen holds
+            # no decodable bytes; restart it at its first page
+            wal.head = wal.gen_start
+            self._gen_bytes = 0
+            self._tail = b""
+            self._tail_vpn = None
+            return
+        full, rem = divmod(rel, page)
+        wal.head = wal.gen_start + full + (1 if rem else 0)
+        self._gen_bytes = rel
+        if rem:
+            self._tail = bytes(blob[gen_off + full * page: gen_off + rel])
+            self._tail_vpn = wal.gen_start + full
+        else:
+            self._tail = b""
+            self._tail_vpn = None
+
+    def trim_beyond_head(self, account: CpuAccount) -> Generator:
+        """TRIM every WAL page outside the live generations (recovery).
+
+        A crash between ``retire_previous``'s metadata write and its
+        deallocations leaves stale retired-generation pages on flash;
+        a torn flush leaves fragments past the recovered head. Neither
+        is adopted by :meth:`read_all`, but both would still sit in
+        front of future appends — wiped here so the region beyond the
+        head is genuinely blank, as every invariant assumes.
+        """
+        wal = self.space.wal
+        oldest = wal.prev_start if wal.prev_start is not None else wal.gen_start
+        npages = oldest + wal.wal_pages - wal.head
+        if npages <= 0:
+            return
+        for lba, n in wal.contiguous_run(wal.head, npages):
+            if n:
+                ev = yield from self.ring.deallocate(lba, n, account)
+                yield from self.ring.wait(ev, account)
 
     def _read_range(self, vpn_start: int, vpn_end: int,
                     account: CpuAccount) -> Generator:
@@ -375,15 +495,25 @@ class SnapshotPath(SnapshotSink):
         # 1) all data durable
         while self._inflight:
             yield from self.ring.wait(self._inflight.pop(0), account)
-        # 2) promote the reserve slot in the metadata, durably
+        # 2) promote the reserve slot in the metadata, durably. The
+        # in-memory promotion happens first so any concurrent metadata
+        # writer (the WAL head hint) that wins a higher seqno carries
+        # the promoted roles too — publishing early is safe because the
+        # snapshot data is already durable (step 1). The full space
+        # image (incl. the wal_prev_* handoff) must be written: a
+        # partial Metadata here would durably drop a pending previous
+        # generation and lose acknowledged records on recovery.
+        undo = self.space.slots.snapshot_state()
         old_slot = self.space.slots.promote(self.kind, self._bytes)
-        meta = Metadata(
-            wal_gen_start=self.space.wal.gen_start,
-            wal_head=self.space.wal.head,
-            slot_roles=[int(r) for r in self.space.slots.roles],
-            slot_lengths=list(self.space.slots.lengths),
-        )
-        yield from self.meta.write(meta, account)
+        try:
+            yield from self.meta.write(current_metadata(self.space), account)
+        except Exception:
+            # the durable write failed: roll the in-memory promotion
+            # back so memory matches flash — the old snapshot stays
+            # published and the written-but-unpromoted data stays in
+            # the reserve slot for a retry
+            self.space.slots.restore_state(undo)
+            raise
         # 3) only now retire the previous snapshot of this kind
         if old_slot is not None:
             base, cap = self.space.slot_extent(old_slot)

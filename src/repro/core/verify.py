@@ -61,8 +61,15 @@ def verify_lba_space(
     layout: LbaLayout | None = None,
     compressor: Compressor | None = None,
     snapshot_fraction: float = 0.45,
+    allow_missing_metadata: bool = False,
 ) -> VerifyReport:
-    """Validate the on-device state of a SlimIO deployment."""
+    """Validate the on-device state of a SlimIO deployment.
+
+    ``allow_missing_metadata`` accepts a device with data but no valid
+    metadata copy — the state a power cut before (or tearing) the
+    first-ever metadata write leaves behind. Crash harnesses enable
+    it; offline fsck keeps the default and reports the anomaly.
+    """
     report = VerifyReport()
     lay = layout or LbaLayout.partition(
         device.num_lbas, snapshot_fraction=snapshot_fraction
@@ -85,7 +92,21 @@ def verify_lba_space(
         if device.written_lbas() == 0:
             report.blank_device = True
             return report
-        report.problem("no valid metadata copy on a non-blank device")
+        if not allow_missing_metadata:
+            report.problem("no valid metadata copy on a non-blank device")
+            return report
+        # A crash before — or tearing — the first-ever metadata write
+        # is a legal state: flash already holds acknowledged WAL
+        # records (and possibly a garbage metadata page) while both
+        # A/B copies are invalid. Recovery replays the WAL from vpn 0
+        # by forward scan; mirror that instead of flagging it.
+        blob = bytearray()
+        for vpn in range(lay.wal_lbas):
+            page = _read(device, lay.wal_base + vpn, 1)
+            if not any(page):
+                break
+            blob.extend(page)
+        report.wal_records = len(AofCodec.scan(bytes(blob)).records)
         return report
     report.metadata = best
 

@@ -1,0 +1,29 @@
+"""repro.faults — deterministic fault injection for the SlimIO I/O path.
+
+Two fault families, both seeded and replayable:
+
+* **power cuts** (:class:`PowerCutSpec`) — stop the world at a chosen
+  sim instant or at the Nth page write, leaving a *durable prefix* of
+  any in-flight multi-page command (optionally an out-of-order subset,
+  modeling drives that persist pages non-sequentially). The surviving
+  device image is what recovery gets to see.
+* **transient NVMe errors** (:class:`ErrorSpec`) — per-command seeded
+  error/timeout completions, absorbed by the ring's bounded
+  retry-with-backoff (:class:`repro.kernel.iouring.RetryPolicy`).
+
+:class:`FaultyDevice` wraps the raw :class:`~repro.nvme.NvmeDevice`
+below any sanitizer, so sanitized systems still validate commands
+before faults mangle them. The crash-matrix harness
+(:mod:`repro.faults.harness`) replays one workload, cuts power at
+every page-write boundary, recovers on the surviving image, and checks
+the recovered keyspace against the acknowledged-write prefix.
+"""
+
+from repro.faults.injector import (
+    ErrorSpec,
+    FaultyDevice,
+    PowerCutSpec,
+    TraceEntry,
+)
+
+__all__ = ["PowerCutSpec", "ErrorSpec", "TraceEntry", "FaultyDevice"]

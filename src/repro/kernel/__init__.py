@@ -20,7 +20,7 @@ reproduction regenerates the paper's Table 2 and Figure 2a breakdowns.
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.blocklayer import BlockLayer, SCHED_DEADLINE, SCHED_NONE, SCHED_SYNC_PRIORITY
 from repro.kernel.costs import KernelCosts
-from repro.kernel.iouring import IoUringRing, PassthruQueuePair
+from repro.kernel.iouring import IoUringRing, PassthruQueuePair, RetryPolicy
 from repro.kernel.pagecache import PageCache
 from repro.kernel.fs import Ext4, F2fs, Filesystem, PosixFile
 
@@ -34,6 +34,7 @@ __all__ = [
     "SCHED_DEADLINE",
     "IoUringRing",
     "PassthruQueuePair",
+    "RetryPolicy",
     "Filesystem",
     "Ext4",
     "F2fs",

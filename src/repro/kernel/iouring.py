@@ -19,14 +19,57 @@ isolation.
 from __future__ import annotations
 
 from collections.abc import Generator
+from dataclasses import dataclass
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.costs import KernelCosts
-from repro.nvme import DeallocateCmd, NvmeCommand, NvmeDevice, ReadCmd, WriteCmd
+from repro.nvme import (
+    DeallocateCmd,
+    NvmeCommand,
+    NvmeDevice,
+    NvmeError,
+    ReadCmd,
+    WriteCmd,
+)
 from repro.sim import Environment, Event, Resource
 from repro.sim.stats import Counter, LatencyRecorder
 
-__all__ = ["IoUringRing", "PassthruQueuePair"]
+__all__ = ["IoUringRing", "PassthruQueuePair", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient NVMe failures.
+
+    Real NVMe drivers abort-and-resubmit on timeouts and retry media
+    errors a bounded number of times before failing the bio. The ring
+    applies this policy to :class:`~repro.nvme.NvmeError` (and its
+    subclass ``NvmeTimeout``) only; any other exception is a programming
+    error and surfaces immediately as a CQE error.
+
+    ``max_attempts`` counts total tries (first attempt included), so
+    ``max_attempts=1`` disables retries. Backoff before retry *k*
+    (1-based) is ``backoff_base * backoff_factor ** (k - 1)``, capped at
+    ``backoff_cap``.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 50e-6
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("negative backoff")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff(self, retry_index: int) -> float:
+        """Delay before 1-based retry ``retry_index``."""
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** (retry_index - 1))
 
 
 class IoUringRing:
@@ -40,6 +83,7 @@ class IoUringRing:
         sqpoll: bool = True,
         depth: int = 128,
         name: str = "ring",
+        retry: RetryPolicy | None = RetryPolicy(),
     ):
         if depth < 1:
             raise ValueError("ring depth must be >= 1")
@@ -48,6 +92,7 @@ class IoUringRing:
         self.costs = costs or KernelCosts()
         self.sqpoll = sqpoll
         self.name = name
+        self.retry = retry
         self._slots = Resource(env, capacity=depth)
         self.counters = Counter()
         self.completion_latency = LatencyRecorder(f"{name}-completion")
@@ -72,6 +117,10 @@ class IoUringRing:
         )
         self._obs_depth = registry.gauge("uring_inflight", ring=self.name)
         self._obs_depth.set(0.0)
+        self._obs_retries = registry.counter("uring_retries_total",
+                                             ring=self.name)
+        self._obs_giveups = registry.counter("uring_retry_giveups_total",
+                                             ring=self.name)
 
     def submit(self, cmd: NvmeCommand, account: CpuAccount) -> Generator:
         """Submit one command; returns the completion :class:`Event`.
@@ -109,12 +158,32 @@ class IoUringRing:
         yield req
         if self.obs is not None:
             self._obs_depth.set(float(self._slots.count))
-        try:
-            result = yield from self.device.submit(cmd)
-        except Exception as exc:  # surfaced to the waiter as a CQE error
-            self._slots.release(req)
-            done.fail(exc)
-            return
+        attempts = 0
+        while True:
+            try:
+                result = yield from self.device.submit(cmd)
+                break
+            except NvmeError as exc:
+                # Transient controller failure: abort-and-resubmit with
+                # bounded backoff, holding the command slot like a real
+                # driver holds the request tag across retries.
+                attempts += 1
+                self.counters.add("nvme_errors")
+                if self.retry is None or attempts >= self.retry.max_attempts:
+                    self.counters.add("retry_giveups")
+                    if self.obs is not None:
+                        self._obs_giveups.inc()
+                    self._slots.release(req)
+                    done.fail(exc)
+                    return
+                self.counters.add("retries")
+                if self.obs is not None:
+                    self._obs_retries.inc()
+                yield self.env.timeout(self.retry.backoff(attempts))
+            except Exception as exc:  # surfaced to the waiter as a CQE error
+                self._slots.release(req)
+                done.fail(exc)
+                return
         self._slots.release(req)
         self.completion_latency.record(self.env.now - t0)
         self.counters.add("completed")

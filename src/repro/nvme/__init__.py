@@ -14,6 +14,7 @@ from repro.nvme.commands import (
     WriteCmd,
 )
 from repro.nvme.device import DeviceStats, NvmeDevice
+from repro.nvme.errors import NvmeError, NvmeTimeout
 from repro.nvme.partition import LbaPartition, partition_evenly
 
 __all__ = [
@@ -23,6 +24,8 @@ __all__ = [
     "DeallocateCmd",
     "NvmeDevice",
     "DeviceStats",
+    "NvmeError",
+    "NvmeTimeout",
     "LbaPartition",
     "partition_evenly",
 ]

@@ -172,3 +172,49 @@ class NvmeDevice:
 
     def written_lbas(self) -> int:
         return len(self._data)
+
+    def poke(self, lba: int, data: bytes) -> None:
+        """Zero-time write of stored bytes (whole pages only).
+
+        This is the data-plane dual of :meth:`peek`: it updates the
+        sparse page map without paying NAND timing or touching the FTL
+        mapping. Fault injection uses it to materialize the pages of a
+        torn command that survived a power cut, and crash harnesses use
+        it to transplant a surviving image onto a fresh device. An
+        all-zero page is stored as "never written" (dropped from the
+        map), matching what a post-crash read would observe either way.
+        """
+        page = self.lba_size
+        if len(data) % page:
+            raise ValueError(f"poke data length {len(data)} not page-aligned")
+        nlb = len(data) // page
+        self._check_extent(lba, nlb)
+        zero = _zero_page(page)
+        for i in range(nlb):
+            chunk = data[i * page : (i + 1) * page]
+            if chunk == zero:
+                self._data.pop(lba + i, None)
+            else:
+                self._data[lba + i] = chunk
+
+    def image(self) -> dict[int, bytes]:
+        """Snapshot of the persisted data plane: {lba: page bytes}.
+
+        This is exactly what survives a power cut — the durable state a
+        crash harness reboots from.
+        """
+        return dict(self._data)
+
+    def load_image(self, image: dict[int, bytes]) -> None:
+        """Load a persisted image (from :meth:`image`) onto this device.
+
+        Only the data plane is transplanted; the FTL starts cold, as a
+        real drive's L2P rebuild is invisible to the host. Used by crash
+        harnesses to boot a fresh simulation on a surviving image.
+        """
+        page = self.lba_size
+        for lba, data in image.items():
+            if len(data) != page:
+                raise ValueError(f"image page at lba {lba} has {len(data)} bytes")
+            self._check_extent(lba, 1)
+        self._data.update(image)

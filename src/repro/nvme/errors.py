@@ -1,0 +1,39 @@
+"""NVMe error model.
+
+Real controllers fail commands for transient reasons (media retries,
+internal resets, thermal throttling aborts) that a host driver is
+expected to retry with backoff, and for terminal reasons (power loss)
+that it is not. The simulator mirrors that split:
+
+* :class:`NvmeError` — a generic transient command failure. The kernel
+  ring (`repro.kernel.iouring`) retries these with bounded exponential
+  backoff before surfacing them as CQE errors.
+* :class:`NvmeTimeout` — the command never completed within the
+  controller's deadline. Also retryable; real drivers abort-and-resubmit.
+
+Power loss is deliberately *not* an exception: a dead device does not
+return errors, it returns nothing. `repro.faults.FaultyDevice` models
+it as commands that hang forever, so the only way to observe a power
+cut is the way a real host does — the machine stops.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NvmeError", "NvmeTimeout"]
+
+
+class NvmeError(Exception):
+    """Transient NVMe command failure (retryable).
+
+    ``opcode`` is a short label ("write", "read", "deallocate") and
+    ``lba`` the start of the failed extent, for diagnostics.
+    """
+
+    def __init__(self, message: str, *, opcode: str = "?", lba: int = -1):
+        super().__init__(message)
+        self.opcode = opcode
+        self.lba = lba
+
+
+class NvmeTimeout(NvmeError):
+    """Command exceeded the controller deadline (retryable)."""

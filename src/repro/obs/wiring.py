@@ -49,6 +49,11 @@ def attach_registry(system, registry: MetricsRegistry | None = None,
     device = getattr(system, "device", None)
     if include_device and device is not None:
         device.ftl.attach_obs(registry)
+    # fault injector (a device proxy): surfaces injected-error/cut
+    # counters as faults_* metrics alongside the ring's retry counters
+    injector = getattr(system, "fault_injector", None)
+    if injector is not None:
+        injector.attach_obs(registry)
     # snapshot rings/paths that already exist (late ones self-wire)
     for ring in getattr(system, "_snap_rings", {}).values():
         ring.attach_obs(registry)

@@ -21,6 +21,8 @@ from repro.persist.compress import CompressionModel, Compressor
 from repro.persist.encoding import (
     AofCodec,
     AofRecord,
+    AofScanResult,
+    CorruptionError,
     CorruptRecord,
     OP_DEL,
     OP_SET,
@@ -37,7 +39,9 @@ __all__ = [
     "Compressor",
     "AofCodec",
     "AofRecord",
+    "AofScanResult",
     "CorruptRecord",
+    "CorruptionError",
     "OP_SET",
     "OP_DEL",
     "RdbReader",

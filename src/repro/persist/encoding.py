@@ -34,7 +34,9 @@ __all__ = [
     "OP_DEL",
     "AofRecord",
     "AofCodec",
+    "AofScanResult",
     "CorruptRecord",
+    "CorruptionError",
     "RdbWriter",
     "RdbReader",
 ]
@@ -59,8 +61,47 @@ class CorruptRecord(Exception):
     """A record failed structural or CRC validation."""
 
 
+class CorruptionError(CorruptRecord):
+    """Interior corruption: valid records exist *beyond* a bad one.
+
+    A torn tail (crash mid-append) is expected and truncates cleanly;
+    a CRC failure with decodable records after it means stored data was
+    damaged and silently truncating would drop acknowledged writes.
+    ``offset`` is where decoding failed, ``resync_at`` where the next
+    valid record was found, ``trailing_records`` how many decode from
+    there.
+    """
+
+    def __init__(self, offset: int, resync_at: int, trailing_records: int):
+        super().__init__(
+            f"interior corruption at offset {offset}: {trailing_records} "
+            f"valid record(s) resume at offset {resync_at}"
+        )
+        self.offset = offset
+        self.resync_at = resync_at
+        self.trailing_records = trailing_records
+
+
 def _crc(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class AofScanResult:
+    """Outcome of :meth:`AofCodec.scan`.
+
+    ``consumed`` is the offset one past the last valid record;
+    ``tail_kind`` is ``"clean"`` (end of data / zero padding),
+    ``"torn"`` (crash fragment, safe to truncate) or ``"interior"``
+    (valid records resume after the failure — real corruption).
+    """
+
+    records: list[AofRecord]
+    consumed: int
+    truncated_at: int | None
+    tail_kind: str
+    resync_at: int | None
+    trailing_records: int
 
 
 @dataclass(frozen=True)
@@ -97,27 +138,100 @@ class AofCodec:
         """Yield records until the stream ends or turns invalid.
 
         A torn tail (crash mid-append) terminates iteration silently —
-        exactly Redis's ``aof-load-truncated`` behaviour. A corrupt
-        *interior* is indistinguishable from a torn tail here, which is
-        the conservative choice: stop replaying at first doubt.
+        exactly Redis's ``aof-load-truncated`` behaviour. This lazy
+        decoder cannot tell a torn tail from a corrupt *interior*; use
+        :meth:`scan` when that distinction matters (recovery does).
         """
         pos = 0
         n = len(data)
         while pos + _AOF_HDR.size <= n:
-            magic, op, klen, vlen = _AOF_HDR.unpack_from(data, pos)
-            if magic != _AOF_MAGIC or op not in (OP_SET, OP_DEL):
+            record, end = AofCodec._decode_one(data, pos, n)
+            if record is None:
                 return
-            end = pos + _AOF_HDR.size + klen + vlen + _CRC.size
-            if end > n:
-                return  # torn record
-            body = data[pos : end - _CRC.size]
-            (crc,) = _CRC.unpack_from(data, end - _CRC.size)
-            if crc != _crc(body):
-                return
-            key = body[_AOF_HDR.size : _AOF_HDR.size + klen]
-            value = body[_AOF_HDR.size + klen :]
-            yield AofRecord(op=op, key=bytes(key), value=bytes(value))
+            yield record
             pos = end
+
+    @staticmethod
+    def _decode_one(data: bytes, pos: int,
+                    n: int) -> tuple[AofRecord | None, int]:
+        """Decode the record at ``pos``; (None, pos) if invalid/torn."""
+        magic, op, klen, vlen = _AOF_HDR.unpack_from(data, pos)
+        if magic != _AOF_MAGIC or op not in (OP_SET, OP_DEL):
+            return None, pos
+        end = pos + _AOF_HDR.size + klen + vlen + _CRC.size
+        if end > n:
+            return None, pos  # torn record
+        body = data[pos : end - _CRC.size]
+        (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        if crc != _crc(body):
+            return None, pos
+        key = body[_AOF_HDR.size : _AOF_HDR.size + klen]
+        value = body[_AOF_HDR.size + klen :]
+        return AofRecord(op=op, key=bytes(key), value=bytes(value)), end
+
+    @staticmethod
+    def scan(data: bytes, start: int = 0,
+             strict: bool = False) -> AofScanResult:
+        """Decode with tail classification (the recovery entry point).
+
+        Unlike :meth:`decode_stream`, a decode failure is diagnosed: if
+        everything after the failure offset is zero padding or torn
+        fragments with no later valid record, the tail is a crash
+        artifact ("torn") and truncation is correct. If a CRC-valid
+        record chain *resumes* after the failure, the interior of the
+        stream was corrupted ("interior") — truncation would silently
+        drop acknowledged records, so ``strict=True`` raises
+        :class:`CorruptionError` with the offset instead.
+
+        ``start`` resumes a previous scan (offsets stay absolute), which
+        lets the WAL adopt pages incrementally without re-decoding.
+        """
+        records: list[AofRecord] = []
+        pos = start
+        n = len(data)
+        while pos + _AOF_HDR.size <= n:
+            record, end = AofCodec._decode_one(data, pos, n)
+            if record is None:
+                break
+            records.append(record)
+            pos = end
+        if pos >= n or not any(data[pos:]):
+            # end of stream or pure zero padding: a clean tail
+            return AofScanResult(records=records, consumed=pos,
+                                 truncated_at=None, tail_kind="clean",
+                                 resync_at=None, trailing_records=0)
+        resync_at, trailing = AofCodec._resync(data, pos, n)
+        if resync_at is None:
+            return AofScanResult(records=records, consumed=pos,
+                                 truncated_at=pos, tail_kind="torn",
+                                 resync_at=None, trailing_records=0)
+        if strict:
+            raise CorruptionError(pos, resync_at, trailing)
+        return AofScanResult(records=records, consumed=pos,
+                             truncated_at=pos, tail_kind="interior",
+                             resync_at=resync_at, trailing_records=trailing)
+
+    @staticmethod
+    def _resync(data: bytes, pos: int, n: int) -> tuple[int | None, int]:
+        """Find the next CRC-valid record after a decode failure."""
+        q = pos + 1
+        min_size = _AOF_HDR.size + _CRC.size
+        while q + min_size <= n:
+            q = data.find(_AOF_MAGIC, q, n - min_size + 1)
+            if q < 0:
+                return None, 0
+            record, end = AofCodec._decode_one(data, q, n)
+            if record is not None:
+                count = 1
+                while end + _AOF_HDR.size <= n:
+                    record, nxt = AofCodec._decode_one(data, end, n)
+                    if record is None:
+                        break
+                    count += 1
+                    end = nxt
+                return q, count
+            q += 1
+        return None, 0
 
 
 class RdbWriter:

@@ -30,13 +30,24 @@ REBUILD_PER_ENTRY = 0.3e-6
 
 @dataclass
 class RecoveryResult:
-    """Outcome of one recovery run."""
+    """Outcome of one recovery run.
+
+    ``wal_truncated_at``/``wal_tail`` report how the WAL stream ended:
+    ``"clean"`` means every byte decoded; ``"torn"`` means a crash
+    fragment was truncated at the given offset (expected after power
+    loss); ``"interior"`` means CRC-valid records resumed *after* the
+    failure offset — ``wal_corrupt_records`` of them were dropped, which
+    only genuine media corruption produces (strict mode raises instead).
+    """
 
     data: dict[bytes, bytes] = field(default_factory=dict)
     snapshot_entries: int = 0
     wal_records_applied: int = 0
     snapshot_bytes: int = 0
     duration: float = 0.0
+    wal_truncated_at: int | None = None
+    wal_tail: str = "clean"
+    wal_corrupt_records: int = 0
 
     @property
     def throughput(self) -> float:
@@ -53,6 +64,7 @@ def recover_store(
     compression_model: CompressionModel | None = None,
     read_chunk_bytes: int = 1024 * 1024,
     obs=None,
+    strict_wal: bool = False,
 ) -> Generator:
     """Rebuild the keyspace; returns :class:`RecoveryResult`.
 
@@ -61,6 +73,12 @@ def recover_store(
     optional :class:`repro.obs.MetricsRegistry`: when attached, the two
     phases become ``snapshot_load`` and ``recovery_replay`` spans on
     the ``recovery`` track, with per-chunk progress in the event log.
+
+    ``strict_wal=True`` raises :class:`CorruptionError` on interior WAL
+    corruption instead of replaying the valid prefix and reporting the
+    damage through the result fields. The default is lenient because a
+    torn tail after power loss is *expected* and out-of-order page
+    persistence can legitimately strand record fragments past the tear.
     """
     if read_chunk_bytes < 1:
         raise ValueError("read_chunk_bytes must be >= 1")
@@ -106,7 +124,8 @@ def recover_store(
     if wal_sink is not None:
         with maybe_span(obs, "recovery_replay", track="recovery"):
             raw = yield from wal_sink.read_all(account)
-            records = list(AofCodec.decode_stream(raw))
+            scan = AofCodec.scan(raw, strict=strict_wal)
+            records = scan.records
             _cpu_ev = account.charge(
                 "rebuild", len(records) * REBUILD_PER_ENTRY
             )
@@ -118,10 +137,19 @@ def recover_store(
                 elif rec.op == OP_DEL:
                     result.data.pop(rec.key, None)
             result.wal_records_applied = len(records)
+            result.wal_truncated_at = scan.truncated_at
+            result.wal_tail = scan.tail_kind
+            result.wal_corrupt_records = scan.trailing_records
         if obs is not None:
             obs.counter("recovery_wal_records_total").inc(len(records))
+            if scan.truncated_at is not None:
+                obs.counter("recovery_wal_truncations_total").inc()
+            if scan.trailing_records:
+                obs.counter("recovery_wal_corrupt_records_total").inc(
+                    scan.trailing_records
+                )
             obs.event("recovery_progress", phase="replay",
-                      records=len(records))
+                      records=len(records), tail=scan.tail_kind)
 
     result.duration = env.now - t0
     return result

@@ -326,4 +326,4 @@ class WalManager:
     def read_records(self, account: CpuAccount) -> Generator:
         """Read and decode all live generations (replay)."""
         raw = yield from self.sink.read_all(account)
-        return list(AofCodec.decode_stream(raw))
+        return AofCodec.scan(raw).records

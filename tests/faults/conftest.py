@@ -1,0 +1,40 @@
+"""Shared fixtures for the fault-injection test suite."""
+
+import pytest
+
+from repro.flash import FlashGeometry, FtlConfig, NandTiming
+from repro.kernel import CpuAccount
+from repro.nvme import NvmeDevice
+from repro.sim import Environment
+
+FAST_NAND = NandTiming(page_read=2e-6, page_program=5e-6, block_erase=20e-6,
+                       channel_transfer=0.5e-6)
+SMALL_FTL = FtlConfig(op_ratio=0.2, gc_trigger_segments=3,
+                      gc_stop_segments=4, gc_reserve_segments=2)
+
+
+def make_device(env):
+    g = FlashGeometry(channels=1, dies_per_channel=2, blocks_per_die=24,
+                      pages_per_block=16)
+    return NvmeDevice(env, g, FAST_NAND, SMALL_FTL)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def device(env):
+    return make_device(env)
+
+
+@pytest.fixture
+def account(env):
+    return CpuAccount(env, "faults-test")
+
+
+def drive(env, gen, name="driver"):
+    """Run a generator as a process to completion; return its value."""
+    p = env.process(gen, name=name)
+    return env.run(until=p)
