@@ -116,9 +116,11 @@ _PID_KEYWORDS = {
     "pid", "metadata_pid", "wal_pid", "wal_snapshot_pid",
     "ondemand_snapshot_pid",
 }
-#: read-only FTL surface callable from any layer (SLIM006)
+#: read-only FTL surface callable from any layer (SLIM006);
+#: ``rtrace`` is the request-tracer attach point — observation only,
+#: same contract as ``attach_obs``
 _FTL_PUBLIC = {"stats", "stream_stats", "waf_for_streams", "stream_ids",
-               "attach_obs", "num_lpns"}
+               "attach_obs", "num_lpns", "rtrace"}
 #: attributes of the LBA state machine (SLIM008)
 _STATE_ATTRS = {"roles", "gen_start", "head", "prev_start"}
 _STATE_RECEIVERS = {"slots", "wal"}

@@ -11,14 +11,25 @@ JSON record with, per experiment:
 * events per second (the honest single-machine throughput figure).
 
 ``perf --compare BASELINE CURRENT`` grades a fresh measurement against
-a committed one. It never fails the build — CI runners are too noisy
-for a wall-clock gate — but emits a GitHub ``::warning`` annotation
-when the suite wall regresses beyond ``--warn-factor``.
+a committed one and **fails** (exit 1) on a regression:
+
+* wall clock beyond ``--fail-factor`` (generous — CI runners are
+  noisy; ``--warn-factor`` still annotates below it), and
+* simulated event count beyond ``--event-factor`` (tight, default
+  1.05x: event counts are deterministic, so this is the
+  machine-independent "tracing off costs <5%" overhead gate — a
+  tracer must add *zero* simulator events).
+
+``--warn-only`` is the escape hatch: every breach demotes to a
+``::warning`` annotation and the exit stays 0. CI wires it to a PR
+label so intentional model growth can land, visibly.
 
 The repo-root ``BENCH_perf.json`` is the committed trajectory. A
 ``seed_baseline`` section (the pre-fast-lane tree measured interleaved
 on the same machine) is carried forward verbatim on regeneration so
-the before/after record survives any number of refreshes.
+the before/after record survives any number of refreshes, and every
+regeneration appends one row to a ``trajectory`` list so the perf
+history reads straight out of the committed record.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.bench.scales import get_scale
 from repro.sim.engine import track_environments, tracked_event_total
 
-__all__ = ["measure_suite", "main"]
+__all__ = ["measure_suite", "append_trajectory", "compare_records", "main"]
 
 
 def measure_suite(scale) -> dict:
@@ -70,6 +81,26 @@ def measure_suite(scale) -> dict:
     }
 
 
+def append_trajectory(previous: dict, optimized: dict) -> list[dict]:
+    """The previous record's trajectory plus one row for this run.
+
+    Rows keep only the deterministic shape (scale, experiment count,
+    sim events) and the headline wall/throughput numbers — enough to
+    plot the perf history straight out of the committed record without
+    digging through git.
+    """
+    rows = [dict(r) for r in previous.get("trajectory", [])
+            if isinstance(r, dict)]
+    rows.append({
+        "scale": optimized.get("scale"),
+        "experiments": len(optimized.get("experiments", {})),
+        "total_wall_s": optimized.get("total_wall_s"),
+        "total_sim_events": optimized.get("total_sim_events"),
+        "events_per_sec": optimized.get("events_per_sec"),
+    })
+    return rows
+
+
 def _measure(scale_name: str, out_path: str, skip_reference: bool) -> int:
     scale = get_scale(scale_name)
     print(f"measuring optimized suite at scale '{scale.name}' ...",
@@ -95,46 +126,101 @@ def _measure(scale_name: str, out_path: str, skip_reference: bool) -> int:
     # cannot be regenerated from this tree — carry it forward verbatim
     try:
         previous = json.loads(out.read_text())
-        if "seed_baseline" in previous:
-            payload["seed_baseline"] = previous["seed_baseline"]
-            seed_wall = previous["seed_baseline"].get("total_wall_s")
-            if seed_wall:
-                payload["speedup_vs_seed"] = round(
-                    seed_wall / optimized["total_wall_s"], 2)
     except (OSError, ValueError):
-        pass
+        previous = {}
+    for carried in ("seed_baseline", "speedup_vs_seed_interleaved",
+                    "notes"):
+        if carried in previous:
+            payload[carried] = previous[carried]
+    if "seed_baseline" in payload:
+        seed_wall = payload["seed_baseline"].get("total_wall_s")
+        if seed_wall:
+            payload["speedup_vs_seed"] = round(
+                seed_wall / optimized["total_wall_s"], 2)
+    payload["trajectory"] = append_trajectory(previous, optimized)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"(perf record written to {out})", file=sys.stderr)
     return 0
 
 
-def _compare(base_path: str, curr_path: str, warn_factor: float) -> int:
+def compare_records(base: dict, curr: dict, *, warn_factor: float = 2.0,
+                    fail_factor: float = 3.0,
+                    event_factor: float = 1.05) -> tuple[list[str], list[str]]:
+    """Grade CURRENT against BASELINE; returns (warnings, failures).
+
+    Wall clock is machine-dependent, so it only *fails* beyond the
+    generous ``fail_factor`` (warns beyond ``warn_factor``). Simulated
+    event counts are deterministic — same code, same scale, same count
+    — so per-experiment growth beyond ``event_factor`` fails outright:
+    this is the machine-independent form of the "tracing disabled must
+    cost <5%" overhead budget (a tracer schedules zero events, so any
+    growth here is real model work, not observation).
+    """
+    warnings: list[str] = []
+    failures: list[str] = []
+    base_wall = base["optimized"]["total_wall_s"]
+    curr_wall = curr["optimized"]["total_wall_s"]
+    factor = curr_wall / base_wall if base_wall else float("inf")
+    print(f"suite wall: baseline {base_wall:.2f}s, current "
+          f"{curr_wall:.2f}s ({factor:.2f}x)")
+    if factor > fail_factor:
+        failures.append(
+            f"suite wall {curr_wall:.2f}s is {factor:.2f}x the baseline "
+            f"{base_wall:.2f}s (fail threshold {fail_factor:.1f}x)")
+    elif factor > warn_factor:
+        warnings.append(
+            f"suite wall {curr_wall:.2f}s is {factor:.2f}x the baseline "
+            f"{base_wall:.2f}s (warn threshold {warn_factor:.1f}x)")
+
+    base_exp = base["optimized"].get("experiments", {})
+    curr_exp = curr["optimized"].get("experiments", {})
+    for name in sorted(set(base_exp) | set(curr_exp)):
+        b = base_exp.get(name, {}).get("sim_events")
+        c = curr_exp.get(name, {}).get("sim_events")
+        if not b or not c:
+            # an experiment added or retired since the baseline — the
+            # suite totals are incomparable, but that is intentional
+            # model growth, not a regression
+            print(f"note: experiment '{name}' only in "
+                  f"{'current' if c else 'baseline'} record; "
+                  f"regenerate BENCH_perf.json to rebaseline")
+            continue
+        if c > b * event_factor:
+            failures.append(
+                f"{name}: simulated events grew {b} -> {c} "
+                f"({c / b:.3f}x > {event_factor:.2f}x); event counts "
+                f"are deterministic, so this is real added work")
+        elif c != b:
+            print(f"note: {name} simulated events changed {b} -> {c} "
+                  f"(within {event_factor:.2f}x budget)")
+    return warnings, failures
+
+
+def _compare(base_path: str, curr_path: str, warn_factor: float,
+             fail_factor: float, event_factor: float,
+             warn_only: bool) -> int:
     try:
         base = json.loads(Path(base_path).read_text())
         curr = json.loads(Path(curr_path).read_text())
-        base_wall = base["optimized"]["total_wall_s"]
-        curr_wall = curr["optimized"]["total_wall_s"]
+        warnings, failures = compare_records(
+            base, curr, warn_factor=warn_factor, fail_factor=fail_factor,
+            event_factor=event_factor)
     except (OSError, ValueError, KeyError) as exc:
         # a missing/unreadable record is not a perf regression
         print(f"perf compare skipped: {exc}", file=sys.stderr)
         return 0
-    factor = curr_wall / base_wall if base_wall else float("inf")
-    print(f"suite wall: baseline {base_wall:.2f}s, current "
-          f"{curr_wall:.2f}s ({factor:.2f}x)")
-    base_ev = base["optimized"].get("total_sim_events")
-    curr_ev = curr["optimized"].get("total_sim_events")
-    if base_ev and curr_ev and base_ev != curr_ev:
-        print(f"note: simulated event totals differ "
-              f"({base_ev} -> {curr_ev}); the model changed, so wall "
-              f"deltas are not pure overhead")
-    if factor > warn_factor:
-        # GitHub annotation; deliberately not a failure — runner noise
-        print(f"::warning ::perf-smoke: experiment suite wall "
-              f"{curr_wall:.2f}s is {factor:.2f}x the committed "
-              f"baseline {base_wall:.2f}s (warn threshold "
-              f"{warn_factor:.1f}x)")
-    return 0
+    for msg in warnings:
+        print(f"::warning ::perf-smoke: {msg}")
+    if failures and warn_only:
+        # escape hatch (CI: 'perf-exempt' PR label) — keep the breach
+        # visible as annotations but let the build pass
+        for msg in failures:
+            print(f"::warning ::perf-smoke (exempted): {msg}")
+        return 0
+    for msg in failures:
+        print(f"::error ::perf-smoke: {msg}")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -154,12 +240,24 @@ def main(argv=None) -> int:
                         help="compare two perf records instead of "
                              "measuring")
     parser.add_argument("--warn-factor", type=float, default=2.0,
-                        help="emit a warning when CURRENT suite wall "
+                        help="annotate when CURRENT suite wall exceeds "
+                             "BASELINE by this factor (default: 2.0)")
+    parser.add_argument("--fail-factor", type=float, default=3.0,
+                        help="fail (exit 1) when CURRENT suite wall "
                              "exceeds BASELINE by this factor "
-                             "(default: 2.0)")
+                             "(default: 3.0)")
+    parser.add_argument("--event-factor", type=float, default=1.05,
+                        help="fail when any experiment's deterministic "
+                             "simulated-event count exceeds BASELINE by "
+                             "this factor (default: 1.05)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="demote compare failures to warnings "
+                             "(escape hatch; CI maps the 'perf-exempt' "
+                             "PR label to this flag)")
     args = parser.parse_args(argv)
     if args.compare:
-        return _compare(args.compare[0], args.compare[1], args.warn_factor)
+        return _compare(args.compare[0], args.compare[1], args.warn_factor,
+                        args.fail_factor, args.event_factor, args.warn_only)
     return _measure(args.scale, args.out, args.skip_reference)
 
 

@@ -87,6 +87,8 @@ class SlimIOCluster:
 
     #: optional telemetry registry (``None`` = instrumentation disabled)
     obs = None
+    #: optional request tracer (``None`` = tracing disabled)
+    rtrace = None
 
     def __init__(self, env: Environment, config: ClusterConfig):
         self.env = env
@@ -177,6 +179,35 @@ class SlimIOCluster:
             )
         self.device.ftl.attach_obs(registry)
         return registry
+
+    def attach_tracer(self, tracer=None, **tracer_kw):
+        """One shared request tracer across every shard (traces carry
+        the shard name as tenant) plus the shared FTL, so a slow
+        request on one shard can be blamed on GC provoked by another.
+        Returns the tracer."""
+        from repro.obs.trace import RequestTracer
+        from repro.obs.wiring import attach_tracer
+
+        if tracer is None:
+            tracer = RequestTracer(self.env, **tracer_kw)
+        self.rtrace = tracer
+        for shard in self.shards:
+            attach_tracer(shard.system, tracer, include_device=False,
+                          tenant=shard.name)
+        self.device.ftl.rtrace = tracer
+        return tracer
+
+    def stream_owners(self) -> dict[int, set]:
+        """stream id (= FDP PID) -> names of the shards that write it;
+        the ownership map cross-tenant blame is judged against."""
+        owners: dict[int, set] = {}
+        for shard in self.shards:
+            if shard.policy is None:
+                owners.setdefault(0, set()).add(shard.name)
+                continue
+            for pid in shard.policy.pids:
+                owners.setdefault(pid, set()).add(shard.name)
+        return owners
 
     def stop(self) -> None:
         for shard in self.shards:

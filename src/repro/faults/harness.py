@@ -79,6 +79,9 @@ class CrashMatrixConfig:
     batched: bool = True
     fast_sim: bool = True
     sanitize: bool = False
+    #: causal tracing on every cut run: each kept trace is validated
+    #: post-cut (well-formed even when truncated mid-WAL-append)
+    trace: bool = False
 
     def system_config(self) -> SystemConfig:
         """Tiny, fast geometry — the matrix reruns the workload dozens
@@ -323,6 +326,13 @@ def _run_one_cut(cfg: CrashMatrixConfig, sys_cfg: SystemConfig,
                         seed=cfg.seed + cut_page)
     faulty = FaultyDevice(_make_device(env, sys_cfg), power=spec)
     system = SlimIOSystem(env, sys_cfg, device=faulty)
+    tracer = None
+    if cfg.trace:
+        from repro.obs.wiring import attach_tracer
+
+        # every request traced: a cut can land on any op, and the
+        # truncated trace is exactly the forensic artifact we validate
+        tracer = attach_tracer(system, sample_every=1)
     progress: dict[str, int] = {"started": 0, "acked": 0}
     done = env.process(
         _driver(system, ops, progress, cfg.snapshot_at, cfg.settle),
@@ -332,6 +342,17 @@ def _run_one_cut(cfg: CrashMatrixConfig, sys_cfg: SystemConfig,
     system.stop()
     out = CutOutcome(cut_page=cut_page, acked=progress["acked"],
                      started=progress["started"])
+    if tracer is not None:
+        from repro.obs.trace import validate_trace
+
+        tracer.drain_open()
+        problems = [f"trace {ctx.trace_id}: {p}"
+                    for ctx in tracer.kept.values()
+                    for p in validate_trace(ctx)]
+        if problems:
+            out.issues.append(
+                f"malformed crash traces: {problems[:3]}"
+            )
     if not faulty.power_lost:
         out.issues.append("cut point never reached (driver finished)")
         return out

@@ -155,6 +155,9 @@ class FlashTranslationLayer:
         self.stats = FtlStats()
         self.counters = Counter()
         self.obs = None
+        #: request tracer (None = tracing off); host writes carrying a
+        #: trace scope record alloc-stall and NAND-program leaf spans
+        self.rtrace = None
         self._space_waiters: list[Event] = []
         self._gc_kick: Event | None = None
         self._bg_wake: Event | None = None
@@ -247,11 +250,19 @@ class FlashTranslationLayer:
         self._check_lpn(lpn)
         if stream_id not in self._streams:
             raise ValueError(f"unknown stream {stream_id}")
+        rt = self.rtrace
         t0 = self.env.now
         ppn = yield from self._place(lpn, stream_id, ROLE_HOST)
         stall = self.env.now - t0
         self.stats.host_stall_time += stall
+        if rt is not None and stall > 0:
+            rt.add_span("ftl_alloc_stall", "ftl", t0, self.env.now,
+                        stream=stream_id)
+        t1 = self.env.now
         yield from self.nand.program_page(ppn)
+        if rt is not None:
+            rt.add_span("nand_program", "nand", t1, self.env.now,
+                        stream=stream_id, pages=1)
         self.stats.host_pages_written += 1
         self._streams[stream_id].pages_written += 1
 
@@ -285,6 +296,7 @@ class FlashTranslationLayer:
         # the free list faster than background GC can interleave its
         # copy-free erases.
         chunk = self.geometry.pages_per_segment
+        rt = self.rtrace
         i = 0
         while i < count:
             take = min(chunk, count - i)
@@ -296,7 +308,14 @@ class FlashTranslationLayer:
             )
             # every page of the chunk experienced the same allocation wait
             self.stats.host_stall_time += (self.env.now - t0) * take
+            if rt is not None and self.env.now > t0:
+                rt.add_span("ftl_alloc_stall", "ftl", t0, self.env.now,
+                            stream=stream_id)
+            t1 = self.env.now
             yield self.nand.program_pages(ppns)
+            if rt is not None:
+                rt.add_span("nand_program", "nand", t1, self.env.now,
+                            stream=stream_id, pages=take)
             self.stats.host_pages_written += take
             self._streams[stream_id].pages_written += take
             i += take
@@ -569,7 +588,7 @@ class FlashTranslationLayer:
         base = g.first_page_of_segment(victim)
         stream_id = int(self._seg_stream[victim])
         with maybe_span(self.obs, "gc_reclaim", track="gc",
-                        stream=stream_id):
+                        stream=stream_id) as gc_span:
             copied = 0
             window: list[tuple[int, int]] = []
             for off in range(g.pages_per_segment):
@@ -586,6 +605,10 @@ class FlashTranslationLayer:
                 yield from self._copy_window(window, stream_id)
             if copied == 0:
                 self.stats.copyfree_erases += 1
+            if self.obs is not None:
+                # labels are recorded at span exit, so blame analysis
+                # can tell copying reclaims from copy-free erases
+                gc_span.labels["copied"] = copied
             yield from self.nand.erase_segment(victim)
         self._seg_state[victim] = SEG_FREE
         self._seg_stream[victim] = -1

@@ -179,6 +179,11 @@ class Server:
         self._snapshot_pending = False
         self._stopped = False
         self.obs = None
+        #: request tracer (:class:`repro.obs.trace.RequestTracer`);
+        #: ``None`` = tracing off, the hot path does no trace work
+        self.rtrace = None
+        #: tenant name stamped on traces (cluster shard name)
+        self.trace_tenant = ""
 
     def attach_obs(self, registry) -> None:
         """Register instruments: per-command latency, WAL-buffer
@@ -214,26 +219,57 @@ class Server:
         per policy (measured from call to return, like a client does).
         """
         t_arrive = self.env.now
-        req = self.cpu.request()
-        yield req
+        rt = self.rtrace
+        ctx = None
+        if rt is not None:
+            ctx = rt.start_request(
+                op.op, tenant=self.trace_tenant or self.name
+            )
+        ok = False
         try:
-            result, wal_seq = yield from self._serve(op)
+            req = self.cpu.request()
+            yield req
+            if rt is not None and self.env.now > t_arrive:
+                rt.add_span("cpu_queue", "server", t_arrive, self.env.now)
+            sp_serve = rt.open_span("serve", "server") if rt is not None \
+                else None
+            try:
+                result, wal_seq = yield from self._serve(op)
+            finally:
+                if rt is not None:
+                    rt.close_span(sp_serve)
+                self.cpu.release(req)
+            if wal_seq is not None and self.wal.policy is LoggingPolicy.ALWAYS:
+                # Always-Log: the reply waits for durability; concurrent
+                # writers group-commit (the CPU is free meanwhile, matching
+                # Redis's batched event-loop write+fsync)
+                sp_wal = rt.open_span("wal_commit", "wal", seq=wal_seq) \
+                    if rt is not None else None
+                try:
+                    yield from self.wal.ensure_durable(wal_seq)
+                finally:
+                    if rt is not None:
+                        rt.close_span(sp_wal)
+            elif wal_seq is not None and self.wal.over_buffer_limit:
+                # Periodical-Log hard limit: the device (e.g. mid-GC) has
+                # fallen behind; write queries block until the AOF buffer
+                # drains — the Figure 4 nosedive mechanism
+                t_stall = self.env.now
+                sp_wal = rt.open_span("wal_commit", "wal", seq=wal_seq,
+                                      stalled=True) \
+                    if rt is not None else None
+                try:
+                    yield from self.wal.wait_capacity()
+                finally:
+                    if rt is not None:
+                        rt.close_span(sp_wal)
+                if self.obs is not None:
+                    self._obs_stalls.inc()
+                    self._obs_stall_time.observe(self.env.now - t_stall)
+            ok = True
         finally:
-            self.cpu.release(req)
-        if wal_seq is not None and self.wal.policy is LoggingPolicy.ALWAYS:
-            # Always-Log: the reply waits for durability; concurrent
-            # writers group-commit (the CPU is free meanwhile, matching
-            # Redis's batched event-loop write+fsync)
-            yield from self.wal.ensure_durable(wal_seq)
-        elif wal_seq is not None and self.wal.over_buffer_limit:
-            # Periodical-Log hard limit: the device (e.g. mid-GC) has
-            # fallen behind; write queries block until the AOF buffer
-            # drains — the Figure 4 nosedive mechanism
-            t_stall = self.env.now
-            yield from self.wal.wait_capacity()
-            if self.obs is not None:
-                self._obs_stalls.inc()
-                self._obs_stall_time.observe(self.env.now - t_stall)
+            if ctx is not None:
+                rt.finish_request(ctx, ok=ok)
         latency = self.env.now - t_arrive
         self.metrics.record_op(op.op, latency)
         if self.obs is not None:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.kernel.accounting import CpuAccount
 from repro.kernel.costs import KernelCosts
+from repro.obs.spans import maybe_span
 from repro.nvme import (
     DeallocateCmd,
     NvmeCommand,
@@ -97,6 +98,11 @@ class IoUringRing:
         self.counters = Counter()
         self.completion_latency = LatencyRecorder(f"{name}-completion")
         self.obs = None
+        #: request tracer (None = tracing off). ``submit`` captures the
+        #: caller's scope onto the command; the service process adopts
+        #: it across the process handoff.
+        self.rtrace = None
+        self._cmd_seq = 0
 
     def attach_obs(self, registry) -> None:
         """Register per-ring instruments (labelled by ring name).
@@ -143,6 +149,15 @@ class IoUringRing:
                 self._obs_enters.inc()
         elif self.obs is not None:
             self._obs_sqpoll.inc()
+        self._cmd_seq += 1
+        cmd.uring_id = f"{self.name}-{self._cmd_seq}"
+        if self.rtrace is not None:
+            # cross-process handoff: submit runs in the caller's
+            # process, service in a fresh one — carry the scope on the
+            # command itself
+            handoff = self.rtrace.capture()
+            if handoff is not None:
+                cmd.trace_handoff = handoff
         done = self.env.event()
         self.env.process(self._service(cmd, done), name=f"{self.name}-svc")
         self.counters.add("submitted")
@@ -152,45 +167,75 @@ class IoUringRing:
 
     def _service(self, cmd: NvmeCommand, done: Event) -> Generator:
         t0 = self.env.now
-        if self.sqpoll:
-            yield self.env.timeout(self.costs.sqpoll_pickup)
-        req = self._slots.request()
-        yield req
-        if self.obs is not None:
-            self._obs_depth.set(float(self._slots.count))
-        attempts = 0
-        while True:
-            try:
-                result = yield from self.device.submit(cmd)
-                break
-            except NvmeError as exc:
-                # Transient controller failure: abort-and-resubmit with
-                # bounded backoff, holding the command slot like a real
-                # driver holds the request tag across retries.
-                attempts += 1
-                self.counters.add("nvme_errors")
-                if self.retry is None or attempts >= self.retry.max_attempts:
-                    self.counters.add("retry_giveups")
+        rt = self.rtrace
+        handoff = getattr(cmd, "trace_handoff", None)
+        nspan = None
+        if rt is not None and handoff is not None:
+            rt.adopt(handoff)
+            labels = {"cmd": cmd.uring_id, "op": type(cmd).__name__}
+            for k in ("lba", "nlb", "pid"):
+                v = getattr(cmd, k, None)
+                if v is not None:
+                    labels[k] = v
+            nspan = rt.open_span("nvme_cmd", "nvme", **labels)
+        ok = False
+        try:
+            if self.sqpoll:
+                yield self.env.timeout(self.costs.sqpoll_pickup)
+            req = self._slots.request()
+            yield req
+            if self.obs is not None:
+                self._obs_depth.set(float(self._slots.count))
+            attempts = 0
+            while True:
+                try:
+                    result = yield from self.device.submit(cmd)
+                    break
+                except NvmeError as exc:
+                    # Transient controller failure: abort-and-resubmit with
+                    # bounded backoff, holding the command slot like a real
+                    # driver holds the request tag across retries.
+                    attempts += 1
+                    self.counters.add("nvme_errors")
+                    if self.retry is None or attempts >= self.retry.max_attempts:
+                        self.counters.add("retry_giveups")
+                        if self.obs is not None:
+                            self._obs_giveups.inc()
+                        self._slots.release(req)
+                        done.fail(exc)
+                        return
+                    self.counters.add("retries")
                     if self.obs is not None:
-                        self._obs_giveups.inc()
+                        self._obs_retries.inc()
+                    t_retry = self.env.now
+                    # the retry span names the failing command, so an
+                    # injected-error report reads straight back to the
+                    # I/O that absorbed it
+                    with maybe_span(self.obs, "uring_retry", track="ring",
+                                    ring=self.name, cmd=cmd.uring_id,
+                                    attempt=attempts,
+                                    err=type(exc).__name__):
+                        yield self.env.timeout(self.retry.backoff(attempts))
+                    if rt is not None and handoff is not None:
+                        rt.add_span("uring_retry", "nvme", t_retry,
+                                    self.env.now, cmd=cmd.uring_id,
+                                    attempt=attempts)
+                except Exception as exc:  # surfaced to the waiter as a CQE error
                     self._slots.release(req)
                     done.fail(exc)
                     return
-                self.counters.add("retries")
-                if self.obs is not None:
-                    self._obs_retries.inc()
-                yield self.env.timeout(self.retry.backoff(attempts))
-            except Exception as exc:  # surfaced to the waiter as a CQE error
-                self._slots.release(req)
-                done.fail(exc)
-                return
-        self._slots.release(req)
-        self.completion_latency.record(self.env.now - t0)
-        self.counters.add("completed")
-        if self.obs is not None:
-            self._obs_latency.observe(self.env.now - t0)
-            self._obs_depth.set(float(self._slots.count))
-        done.succeed(result)
+            self._slots.release(req)
+            ok = True
+            self.completion_latency.record(self.env.now - t0)
+            self.counters.add("completed")
+            if self.obs is not None:
+                self._obs_latency.observe(self.env.now - t0)
+                self._obs_depth.set(float(self._slots.count))
+            done.succeed(result)
+        finally:
+            if rt is not None and handoff is not None:
+                rt.close_span(nspan, ok=ok)
+                rt.release()
 
     def wait(self, completion: Event, account: CpuAccount) -> Generator:
         """Block on a CQE and reap it."""

@@ -68,6 +68,10 @@ class PageCache:
         self._wb_kick: Event | None = None
         self.counters = Counter()
         self.obs = None
+        #: request tracer (None = tracing off); writeback runs record a
+        #: background span linked to the requests that dirtied the pages
+        self.rtrace = None
+        self._trace_dirty: list[int] = []
         env.process(self._writeback_loop(), name="writeback")
 
     def attach_obs(self, registry) -> None:
@@ -141,6 +145,17 @@ class PageCache:
             raise KeyError(f"file {file_id} not registered")
         if offset < 0:
             raise ValueError("negative offset")
+        rt = self.rtrace
+        t_entry = self.env.now
+        if rt is not None:
+            ctx = rt.current()
+            if ctx is not None and not ctx.background:
+                # remember who dirtied pages so the next writeback can
+                # link back to them (bounded; dedup the common repeat)
+                tid = ctx.trace_id
+                if (not self._trace_dirty or self._trace_dirty[-1] != tid) \
+                        and len(self._trace_dirty) < 64:
+                    self._trace_dirty.append(tid)
         _cpu_ev = account.charge("copy", self.costs.copy_time(len(data)))
         if _cpu_ev is not None:
             yield _cpu_ev
@@ -195,6 +210,9 @@ class PageCache:
             if self.obs is not None:
                 self._obs_throttles.inc()
                 self._obs_throttle_wait.observe(self.env.now - t0)
+        if rt is not None and rt.current() is not None:
+            rt.add_span("pagecache_write", "pagecache", t_entry,
+                        self.env.now, nbytes=len(data))
 
     # ------------------------------------------------------------------ read
     def read(
@@ -331,6 +349,15 @@ class PageCache:
         # extents are TRIMmed. Like the kernel skipping pages whose
         # mapping is gone, snapshot the page->LBA map up front and skip
         # anything that has vanished.
+        rt = self.rtrace
+        bg = None
+        wb_span = None
+        if rt is not None:
+            links = tuple(self._trace_dirty)
+            self._trace_dirty.clear()
+            bg = rt.begin_background("writeback")
+            wb_span = rt.open_span("writeback", "pagecache", links=links,
+                                   file=fid)
         resolver = self._resolvers.get(fid)
         pages: list[tuple[int, int]] = []  # (page_idx, lba)
         for j in range(n):
@@ -368,6 +395,9 @@ class PageCache:
             flushed += k
             i += k
         self.counters.add("writeback_pages", flushed)
+        if rt is not None:
+            rt.close_span(wb_span, pages=flushed)
+            rt.finish_background(bg)
         if self.obs is not None:
             self._obs_wb_pages.inc(flushed)
             self._obs_dirty.set(float(self.dirty_bytes))

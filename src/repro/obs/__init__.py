@@ -31,7 +31,22 @@ from repro.obs.registry import (
     render_metric_name,
 )
 from repro.obs.spans import NULL_SPAN, Span, SpanRecord, maybe_span
-from repro.obs.wiring import attach_registry
+from repro.obs.trace import (
+    RequestTracer,
+    TraceContext,
+    TraceSpan,
+    critical_path,
+    format_tail_table,
+    format_waterfall,
+    load_trace_jsonl,
+    overlay_spans,
+    perfetto_trace,
+    tail_report,
+    trace_jsonl_records,
+    validate_trace,
+    write_trace_jsonl,
+)
+from repro.obs.wiring import attach_registry, attach_tracer
 
 __all__ = [
     "MetricsRegistry",
@@ -45,6 +60,20 @@ __all__ = [
     "NULL_SPAN",
     "maybe_span",
     "attach_registry",
+    "attach_tracer",
+    "RequestTracer",
+    "TraceContext",
+    "TraceSpan",
+    "critical_path",
+    "tail_report",
+    "validate_trace",
+    "format_waterfall",
+    "format_tail_table",
+    "overlay_spans",
+    "trace_jsonl_records",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+    "perfetto_trace",
     "jsonl_records",
     "write_jsonl",
     "load_jsonl",

@@ -3,6 +3,9 @@
 * ``summarize`` — human-readable report of a JSONL run record.
 * ``trace`` — convert a run record's spans to Chrome trace-event JSON
   (load the output in chrome://tracing or https://ui.perfetto.dev).
+* ``report`` — tail-latency forensics from a causal-trace dump
+  (``write_trace_jsonl``): the blame table plus the slowest requests
+  as waterfalls with background GC/snapshot activity overlaid.
 """
 
 from __future__ import annotations
@@ -35,6 +38,38 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.trace import (
+        format_tail_table,
+        format_waterfall,
+        load_trace_jsonl,
+        tail_report,
+    )
+
+    with open(args.run, encoding="utf-8") as fh:
+        meta, contexts, background, overlays = load_trace_jsonl(fh)
+    if not contexts:
+        print(f"{args.run}: no traces in dump", file=sys.stderr)
+        return 1
+    gc_spans = [o for o in overlays if o.name == "gc_reclaim"]
+    owners = {int(k): set(v)
+              for k, v in (meta.get("stream_owners") or {}).items()}
+    report = tail_report(
+        contexts, background, gc_spans, top_k=args.top,
+        stream_owners=owners,
+        requests_seen=int(meta.get("requests_seen", 0)),
+    )
+    print(f"run: {meta.get('run', '?')}   tail forensics "
+          f"(top {len(report.rows)} of {report.kept} kept traces)")
+    print()
+    print(format_tail_table(report))
+    shown = (report.cross_tenant or report.blamed or report.rows)
+    for row in shown[:args.waterfalls]:
+        print()
+        print(format_waterfall(row.ctx, overlays))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -51,6 +86,16 @@ def main(argv=None) -> int:
     p_tr.add_argument("-o", "--output", help="output path "
                       "(default: <run>.trace.json)")
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_rep = sub.add_parser(
+        "report", help="tail-latency forensics from a causal-trace dump")
+    p_rep.add_argument("run", help="path to a .trace.jsonl causal dump")
+    p_rep.add_argument("-k", "--top", type=int, default=16,
+                       help="rows in the tail table (default 16)")
+    p_rep.add_argument("-w", "--waterfalls", type=int, default=3,
+                       help="slowest traces rendered as waterfalls "
+                            "(default 3)")
+    p_rep.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     try:

@@ -115,11 +115,14 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 f"{render_metric_name(inst.name + '_sum', base)} "
                 f"{_prom_value(s.get('sum', 0.0))}"
             )
-            for q in (50, 99):
-                lines.append(
-                    f"{render_metric_name(inst.name, {**base, 'quantile': f'0.{q}'})} "
-                    f"{_prom_value(inst.percentile(q))}"
-                )
+            # no observations -> no quantile lines: an empty summary
+            # must not expose NaN (it diffs dirty and trips scrapers)
+            if s.get("count"):
+                for q in (50, 99):
+                    lines.append(
+                        f"{render_metric_name(inst.name, {**base, 'quantile': f'0.{q}'})} "
+                        f"{_prom_value(inst.percentile(q))}"
+                    )
         else:
             lines.append(
                 f"{render_metric_name(inst.name, inst.labels)} "
@@ -228,6 +231,27 @@ def summarize_records(records: list[dict]) -> str:
         out.append("")
         out.append("counters:")
         for c in sorted(counters, key=lambda r: r["name"]):
+            out.append(f"  {render_metric_name(c['name'], c['labels']):58s} "
+                       f"{c.get('value', 0):,.0f}")
+
+    # fault-campaign forensics: anything the injector did plus how the
+    # ring coped; zero-valued retry counters are still shown so a clean
+    # run reads as explicitly clean
+    faulty = [c for c in counters
+              if c["name"].startswith(("faults_", "uring_retr"))]
+    if faulty:
+        out.append("")
+        out.append("faults & retries:")
+        injected = sum(c.get("value", 0) for c in faulty
+                       if c["name"].startswith("faults_"))
+        retried = sum(c.get("value", 0) for c in faulty
+                      if c["name"] == "uring_retries_total")
+        gaveup = sum(c.get("value", 0) for c in faulty
+                     if c["name"] == "uring_retry_giveups_total")
+        out.append(f"  injected events: {injected:,.0f}   "
+                   f"ring retries: {retried:,.0f}   "
+                   f"give-ups: {gaveup:,.0f}")
+        for c in sorted(faulty, key=lambda r: r["name"]):
             out.append(f"  {render_metric_name(c['name'], c['labels']):58s} "
                        f"{c.get('value', 0):,.0f}")
     if gauges:

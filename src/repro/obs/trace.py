@@ -1,0 +1,885 @@
+"""Request-level causal tracing and tail-latency forensics.
+
+Aggregate telemetry (PR 1) shows *that* p999 moved; this module shows
+*why*.  Every client op gets a :class:`TraceContext` whose id follows
+the request through server -> WAL append -> io_uring submit/complete ->
+pagecache writeback -> NVMe command -> NAND program, as a tree of
+:class:`TraceSpan` with parent/child links and sim-clock timestamps.
+
+Three problems make this harder than thread-local context:
+
+* **Processes, not threads.**  The simulator multiplexes thousands of
+  generator processes on one OS thread, so "current request" must be
+  tracked per :class:`~repro.sim.engine.Process`.  The engine sets
+  ``env.active_process`` on *every* resume path (including the
+  ``fast_resume`` inline path), so a plain dict keyed by the active
+  process is exact in all lanes.
+* **Cross-process handoffs.**  ``ring.submit()`` runs in the caller's
+  process but the command is serviced by a fresh ``-svc`` process.
+  The caller :meth:`RequestTracer.capture`\\ s its scope and the service
+  process :meth:`RequestTracer.adopt`\\ s it.
+* **Group commit.**  Under Periodical logging the WAL drain runs in a
+  background flusher process and retires *many* staged requests at
+  once.  The drain runs under an anonymous *background* context and
+  its ``wal_flush`` span carries causal ``links`` to every trace id it
+  made durable; linked spans are additionally recorded to a bounded
+  background buffer so blame analysis works even when the flushing
+  process served no (kept) request of its own.
+
+Retention is head sampling (1-in-N) plus an always-keep-slowest
+reservoir, so ``fast_sim`` lanes stay fast and the p999 stories are
+never sampled away.  Tracing off (``rtrace is None`` everywhere) does
+no work and creates zero simulator events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TraceSpan",
+    "TraceContext",
+    "RequestTracer",
+    "Attribution",
+    "TailRow",
+    "TailReport",
+    "critical_path",
+    "dominant_layer",
+    "attribute_interference",
+    "tail_report",
+    "validate_trace",
+    "format_waterfall",
+    "format_tail_table",
+    "overlay_spans",
+    "OverlaySpan",
+    "trace_jsonl_records",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+    "perfetto_trace",
+]
+
+#: render/export order of the layers a request crosses, top to bottom
+LAYERS = ("server", "wal", "pagecache", "nvme", "ftl", "nand")
+
+_DEVICE_LAYERS = frozenset(("nvme", "ftl", "nand"))
+
+
+class TraceSpan:
+    """One timed operation inside one trace.
+
+    ``t1 is None`` while the span is open; a trace harvested after a
+    power cut may legitimately contain spans closed by
+    :meth:`RequestTracer.drain_open` with ``ok=False`` and a
+    ``truncated`` label.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "layer",
+                 "t0", "t1", "labels", "links", "ok")
+
+    def __init__(self, trace_id, span_id, parent_id, name, layer, t0,
+                 t1=None, labels=None, links=(), ok=True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.layer = layer
+        self.t0 = t0
+        self.t1 = t1
+        self.labels = labels or {}
+        self.links = tuple(links)
+        self.ok = ok
+
+    @property
+    def duration(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def to_dict(self) -> dict:
+        d = {
+            "trace_id": self.trace_id, "span_id": self.span_id,
+            "parent_id": self.parent_id, "name": self.name,
+            "layer": self.layer, "t0": self.t0, "t1": self.t1,
+        }
+        if self.labels:
+            d["labels"] = self.labels
+        if self.links:
+            d["links"] = list(self.links)
+        if not self.ok:
+            d["ok"] = False
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceSpan":
+        return cls(d["trace_id"], d["span_id"], d.get("parent_id"),
+                   d["name"], d["layer"], d["t0"], d.get("t1"),
+                   labels=d.get("labels") or {},
+                   links=tuple(d.get("links") or ()),
+                   ok=d.get("ok", True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceSpan({self.trace_id}:{self.span_id} {self.name}"
+                f"@{self.layer} [{self.t0}, {self.t1}])")
+
+
+class TraceContext:
+    """One request's (or one background activity's) trace."""
+
+    __slots__ = ("trace_id", "name", "tenant", "t0", "t1", "spans",
+                 "sampled", "background", "truncated")
+
+    def __init__(self, trace_id, name, tenant="", t0=0.0,
+                 sampled=False, background=False):
+        self.trace_id = trace_id
+        self.name = name
+        self.tenant = tenant
+        self.t0 = t0
+        self.t1 = None
+        self.spans: list[TraceSpan] = []
+        self.sampled = sampled
+        self.background = background
+        self.truncated = False
+
+    @property
+    def duration(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def root(self) -> TraceSpan | None:
+        for s in self.spans:
+            if s.parent_id is None:
+                return s
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id, "name": self.name,
+            "tenant": self.tenant, "t0": self.t0, "t1": self.t1,
+            "sampled": self.sampled, "truncated": self.truncated,
+        }
+
+
+class _Scope:
+    """Per-process binding: the active context + open-span stack."""
+
+    __slots__ = ("ctx", "stack")
+
+    def __init__(self, ctx: TraceContext, stack: list[int]):
+        self.ctx = ctx
+        self.stack = stack
+
+
+class RequestTracer:
+    """Collects causal traces; creates **zero** simulator events.
+
+    ``sample_every``: head sampling, keep every Nth request in full.
+    ``keep_slowest``: on top of sampling, a reservoir of the K slowest
+    requests seen so far (the tail-forensics working set).
+    """
+
+    def __init__(self, env, sample_every: int = 8, keep_slowest: int = 32,
+                 background_capacity: int = 4096):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.env = env
+        self.sample_every = sample_every
+        self.keep_slowest = keep_slowest
+        self.requests_seen = 0
+        self.requests_dropped = 0
+        #: kept traces by id (sampled + slowest reservoir + truncated)
+        self.kept: dict[int, TraceContext] = {}
+        #: flat spans from background contexts and every linked span
+        self.background: deque[TraceSpan] = deque(maxlen=background_capacity)
+        self._scopes: dict[object, _Scope] = {}
+        self._slow: list[tuple[float, int]] = []   # (duration, trace_id) min-heap
+        self._span_seq = 0
+        self._bg_seq = 0
+        self._staged_wal: list[tuple[int, int]] = []   # (wal seq, trace id)
+
+    # ------------------------------------------------------------ scope
+    def _scope(self) -> _Scope | None:
+        return self._scopes.get(self.env.active_process)
+
+    def current(self) -> TraceContext | None:
+        """The context bound to the running process, if any."""
+        sc = self._scopes.get(self.env.active_process)
+        return sc.ctx if sc is not None else None
+
+    # ------------------------------------------------------------ requests
+    def start_request(self, name: str, tenant: str = "",
+                      **labels) -> TraceContext:
+        """Open a trace for the op the *current* process is serving."""
+        self.requests_seen += 1
+        tid = self.requests_seen
+        now = self.env.now
+        ctx = TraceContext(tid, name, tenant, now,
+                           sampled=(tid % self.sample_every) == 0)
+        self._span_seq += 1
+        root = TraceSpan(tid, self._span_seq, None, name, "server", now,
+                         labels=dict(labels) if labels else None)
+        ctx.spans.append(root)
+        self._scopes[self.env.active_process] = _Scope(ctx, [root.span_id])
+        return ctx
+
+    def finish_request(self, ctx: TraceContext, ok: bool = True) -> None:
+        now = self.env.now
+        ctx.t1 = now
+        root = ctx.root
+        if root is not None and root.t1 is None:
+            root.t1 = now
+            root.ok = ok
+        proc = self.env.active_process
+        sc = self._scopes.get(proc)
+        if sc is not None and sc.ctx is ctx:
+            del self._scopes[proc]
+        self._retain(ctx)
+
+    def _retain(self, ctx: TraceContext) -> None:
+        if ctx.sampled or ctx.truncated:
+            self.kept[ctx.trace_id] = ctx
+            return
+        dur = ctx.duration
+        if len(self._slow) < self.keep_slowest:
+            heapq.heappush(self._slow, (dur, ctx.trace_id))
+            self.kept[ctx.trace_id] = ctx
+        elif self._slow and dur > self._slow[0][0]:
+            _, evicted = heapq.heapreplace(self._slow, (dur, ctx.trace_id))
+            old = self.kept.get(evicted)
+            if old is not None and not (old.sampled or old.truncated):
+                del self.kept[evicted]
+            self.kept[ctx.trace_id] = ctx
+            self.requests_dropped += 1
+        else:
+            self.requests_dropped += 1
+
+    # ------------------------------------------------------------ handoff
+    def capture(self):
+        """Snapshot the current scope for a cross-process handoff
+        (attach the result to the in-flight command)."""
+        sc = self._scope()
+        if sc is None:
+            return None
+        return (sc.ctx, sc.stack[-1])
+
+    def adopt(self, handoff) -> None:
+        """Bind a captured scope to the *current* process."""
+        ctx, parent = handoff
+        self._scopes[self.env.active_process] = _Scope(ctx, [parent])
+
+    def release(self) -> None:
+        """Drop the current process's binding (end of the handoff)."""
+        self._scopes.pop(self.env.active_process, None)
+
+    # ------------------------------------------------------------ background
+    def begin_background(self, name: str) -> TraceContext:
+        """Open an anonymous trace for a shared background activity
+        (WAL drain, pagecache writeback) running with no request scope.
+        Its spans land in :attr:`background` at finish."""
+        self._bg_seq += 1
+        ctx = TraceContext(-self._bg_seq, name, "", self.env.now,
+                           background=True)
+        self._span_seq += 1
+        root = TraceSpan(ctx.trace_id, self._span_seq, None, name,
+                         "server", self.env.now)
+        ctx.spans.append(root)
+        self._scopes[self.env.active_process] = _Scope(ctx, [root.span_id])
+        return ctx
+
+    def finish_background(self, ctx: TraceContext) -> None:
+        now = self.env.now
+        ctx.t1 = now
+        root = ctx.root
+        if root is not None and root.t1 is None:
+            root.t1 = now
+        proc = self.env.active_process
+        sc = self._scopes.get(proc)
+        if sc is not None and sc.ctx is ctx:
+            del self._scopes[proc]
+        self.background.extend(s for s in ctx.spans if s.t1 is not None)
+
+    # ------------------------------------------------------------ spans
+    def open_span(self, name: str, layer: str, links=(),
+                  **labels) -> TraceSpan | None:
+        """Open a child span under the current scope (or ``None`` if
+        the running process carries no trace)."""
+        sc = self._scope()
+        if sc is None:
+            return None
+        self._span_seq += 1
+        span = TraceSpan(sc.ctx.trace_id, self._span_seq, sc.stack[-1],
+                         name, layer, self.env.now,
+                         labels=dict(labels) if labels else None,
+                         links=links)
+        sc.ctx.spans.append(span)
+        sc.stack.append(span.span_id)
+        if span.links:
+            # linked spans are causal join points (group commit):
+            # mirror them into the background buffer so blame analysis
+            # can follow a victim's links even when this span's own
+            # trace is later dropped by sampling
+            self.background.append(span)
+        return span
+
+    def close_span(self, span: TraceSpan | None, ok: bool = True,
+                   **labels) -> None:
+        if span is None:
+            return
+        span.t1 = self.env.now
+        span.ok = ok
+        if labels:
+            span.labels.update(labels)
+        sc = self._scope()
+        if sc is not None and sc.stack and sc.stack[-1] == span.span_id:
+            sc.stack.pop()
+
+    def add_span(self, name: str, layer: str, t0: float, t1: float,
+                 links=(), **labels) -> TraceSpan | None:
+        """Record an already-timed leaf span under the current scope."""
+        sc = self._scope()
+        if sc is None:
+            return None
+        self._span_seq += 1
+        span = TraceSpan(sc.ctx.trace_id, self._span_seq, sc.stack[-1],
+                         name, layer, t0, t1,
+                         labels=dict(labels) if labels else None,
+                         links=links)
+        sc.ctx.spans.append(span)
+        if span.links:
+            self.background.append(span)
+        return span
+
+    # ------------------------------------------------------------ WAL links
+    def note_wal_stage(self, seq: int) -> None:
+        """Record that the current request staged WAL record ``seq``
+        (called synchronously from ``WalManager.stage``)."""
+        sc = self._scope()
+        if sc is not None and not sc.ctx.background:
+            self._staged_wal.append((seq, sc.ctx.trace_id))
+
+    def take_staged(self, upto_seq: int) -> tuple[int, ...]:
+        """Consume the staged-record notes a drain is about to retire;
+        returns the distinct trace ids the flush makes durable."""
+        if not self._staged_wal:
+            return ()
+        taken, rest = [], []
+        for seq, tid in self._staged_wal:
+            (taken if seq <= upto_seq else rest).append((seq, tid))
+        self._staged_wal = rest
+        out: list[int] = []
+        for _, tid in taken:
+            if tid not in out:
+                out.append(tid)
+        return tuple(out)
+
+    # ------------------------------------------------------------ faults
+    def drain_open(self) -> list[TraceContext]:
+        """Close every open scope at the current sim time (power cut /
+        end of run).  Truncated request traces are force-kept so crash
+        forensics always sees them; returns the contexts drained."""
+        now = self.env.now
+        drained: list[TraceContext] = []
+        for proc, sc in list(self._scopes.items()):
+            ctx = sc.ctx
+            for span in ctx.spans:
+                if span.t1 is None:
+                    span.t1 = now
+                    span.ok = False
+                    span.labels["truncated"] = True
+            ctx.truncated = True
+            ctx.t1 = now
+            del self._scopes[proc]
+            if ctx.background:
+                self.background.extend(ctx.spans)
+            else:
+                self._retain(ctx)
+            drained.append(ctx)
+        return drained
+
+
+# ---------------------------------------------------------------- validation
+def validate_trace(ctx: TraceContext) -> list[str]:
+    """Well-formedness check; returns a list of problems (empty = ok).
+
+    A *truncated* trace is still well-formed: every span closed (by
+    ``drain_open``), timestamps ordered, every parent resolvable."""
+    problems: list[str] = []
+    if ctx.t1 is None:
+        problems.append("context never finished")
+    if not ctx.spans:
+        problems.append("no spans")
+        return problems
+    ids = {s.span_id for s in ctx.spans}
+    roots = [s for s in ctx.spans if s.parent_id is None]
+    if len(roots) != 1:
+        problems.append(f"expected 1 root span, found {len(roots)}")
+    for s in ctx.spans:
+        if s.t1 is None:
+            problems.append(f"span {s.span_id} ({s.name}) never closed")
+        elif s.t1 < s.t0:
+            problems.append(f"span {s.span_id} ({s.name}) ends before start")
+        if s.parent_id is not None and s.parent_id not in ids:
+            problems.append(
+                f"span {s.span_id} ({s.name}) parent "
+                f"{s.parent_id} not in trace")
+        if s.trace_id != ctx.trace_id:
+            problems.append(f"span {s.span_id} belongs to another trace")
+    if ctx.t1 is not None and roots:
+        r = roots[0]
+        if r.t1 is not None and r.t1 - 1e-12 > ctx.t1:
+            problems.append("root span outlives the context")
+    return problems
+
+
+# ---------------------------------------------------------------- analysis
+def critical_path(spans) -> list[tuple[TraceSpan, float, float]]:
+    """Self-time decomposition of one trace.
+
+    Returns ``(span, t0, t1)`` segments covering the root interval,
+    each owned by the *deepest* span active there — i.e. where the
+    request actually spent its time."""
+    closed = [s for s in spans if s.t1 is not None]
+    roots = [s for s in closed if s.parent_id is None]
+    if not roots:
+        return []
+    root = roots[0]
+    by_id = {s.span_id: s for s in closed}
+    depth: dict[int, int] = {}
+
+    def _depth(s) -> int:
+        got = depth.get(s.span_id)
+        if got is not None:
+            return got
+        if s.parent_id is None or s.parent_id not in by_id:
+            depth[s.span_id] = 0
+        else:
+            depth[s.span_id] = _depth(by_id[s.parent_id]) + 1
+        return depth[s.span_id]
+
+    for s in closed:
+        _depth(s)
+    cuts = sorted({t for s in closed for t in (s.t0, s.t1)
+                   if root.t0 <= t <= root.t1})
+    segments: list[tuple[TraceSpan, float, float]] = []
+    for a, b in zip(cuts, cuts[1:]):
+        if b <= a:
+            continue
+        mid = (a + b) / 2.0
+        covering = [s for s in closed if s.t0 <= mid <= s.t1]
+        if not covering:
+            continue
+        best = max(covering,
+                   key=lambda s: (depth[s.span_id], s.t0, s.span_id))
+        if segments and segments[-1][0] is best and segments[-1][2] == a:
+            segments[-1] = (best, segments[-1][1], b)
+        else:
+            segments.append((best, a, b))
+    return segments
+
+
+def dominant_layer(spans) -> tuple[str, float]:
+    """(layer, self-time) of the layer that dominated this request."""
+    per: dict[str, float] = {}
+    for span, a, b in critical_path(spans):
+        per[span.layer] = per.get(span.layer, 0.0) + (b - a)
+    if not per:
+        return ("server", 0.0)
+    # ties break toward the deeper layer (later in LAYERS)
+    order = {layer: i for i, layer in enumerate(LAYERS)}
+    layer = max(per, key=lambda k: (per[k], order.get(k, -1)))
+    return layer, per[layer]
+
+
+@dataclass
+class Attribution:
+    """Why one slow request was slow: the background job it overlapped."""
+
+    span_name: str = ""
+    stream: int | None = None
+    overlap: float = 0.0
+    owners: tuple[str, ...] = ()
+    cross_tenant: bool = False
+    via: str = "direct"       # "direct" device spans or "link" (group commit)
+    copied: int = 0
+
+    @property
+    def blamed(self) -> bool:
+        return self.overlap > 0.0
+
+
+def _merge_intervals(ivs: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    out: list[tuple[float, float]] = []
+    for a, b in sorted(ivs):
+        if b <= a:
+            continue
+        if out and a <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], b))
+        else:
+            out.append((a, b))
+    return out
+
+
+def _overlap(ivs: list[tuple[float, float]], t0: float, t1: float) -> float:
+    return sum(max(0.0, min(b, t1) - max(a, t0)) for a, b in ivs)
+
+
+def attribute_interference(ctx: TraceContext, gc_spans, background=(),
+                           stream_owners=None) -> Attribution:
+    """Blame a slow request on the background GC it causally overlapped.
+
+    Evidence intervals are the request's own device-layer spans, plus —
+    for group commit — the linked ``wal_flush`` spans the request
+    waited on and those flushes' device-layer children from the
+    background buffer.  The blamed GC span is the ``gc_reclaim`` with
+    the largest time overlap against the merged evidence (only GC that
+    actually *copied* pages counts: copy-free reclaims steal no
+    device time worth blaming).  ``cross_tenant`` is set when the
+    blamed stream's owner set contains a tenant other than the
+    victim's — the shared-PID lifetime-mixing story."""
+    ivs = [(s.t0, s.t1) for s in ctx.spans
+           if s.t1 is not None and s.layer in _DEVICE_LAYERS]
+    via = "direct" if ivs else "link"
+    linked = [s for s in background
+              if s.links and ctx.trace_id in s.links and s.t1 is not None]
+    for fl in linked:
+        ivs.append((fl.t0, fl.t1))
+        for s in background:
+            if (s.trace_id == fl.trace_id and s.layer in _DEVICE_LAYERS
+                    and s.t1 is not None and not s.links):
+                ivs.append((s.t0, s.t1))
+    merged = _merge_intervals(ivs)
+    if not merged:
+        return Attribution()
+    best = Attribution()
+    for g in gc_spans:
+        copied = int(g.labels.get("copied", 0) or 0)
+        if copied <= 0:
+            continue
+        ov = _overlap(merged, g.t0, g.t1)
+        if ov <= best.overlap:
+            continue
+        stream = g.labels.get("stream")
+        owners = tuple(sorted((stream_owners or {}).get(stream, ())))
+        best = Attribution(
+            span_name=g.name, stream=stream, overlap=ov, owners=owners,
+            cross_tenant=any(o != ctx.tenant for o in owners),
+            via=via, copied=copied,
+        )
+    return best
+
+
+@dataclass
+class TailRow:
+    """One line of the tail-forensics table."""
+
+    rank: int
+    ctx: TraceContext
+    layer: str
+    layer_time: float
+    attribution: Attribution
+
+
+@dataclass
+class TailReport:
+    """Top-K slowest requests, each blame-assigned."""
+
+    rows: list[TailRow] = field(default_factory=list)
+    requests_seen: int = 0
+    kept: int = 0
+
+    @property
+    def blamed(self) -> list[TailRow]:
+        return [r for r in self.rows if r.attribution.blamed]
+
+    @property
+    def cross_tenant(self) -> list[TailRow]:
+        return [r for r in self.rows if r.attribution.cross_tenant]
+
+
+def tail_report(contexts, background=(), gc_spans=(), *,
+                top_k: int = 16, stream_owners=None,
+                requests_seen: int = 0) -> TailReport:
+    """Rank the K slowest finished request traces and attribute each."""
+    done = [c for c in contexts if c.t1 is not None and not c.background]
+    done.sort(key=lambda c: (-c.duration, c.trace_id))
+    report = TailReport(requests_seen=requests_seen, kept=len(done))
+    for rank, ctx in enumerate(done[:top_k], start=1):
+        layer, layer_time = dominant_layer(ctx.spans)
+        att = attribute_interference(ctx, gc_spans, background,
+                                     stream_owners)
+        report.rows.append(TailRow(rank, ctx, layer, layer_time, att))
+    return report
+
+
+# ---------------------------------------------------------------- overlays
+class OverlaySpan:
+    """A registry span (GC / snapshot) reduced to what forensics needs;
+    also the deserialized form of dumped overlay spans."""
+
+    __slots__ = ("name", "track", "t0", "t1", "labels")
+
+    def __init__(self, name, track, t0, t1, labels=None):
+        self.name = name
+        self.track = track
+        self.t0 = t0
+        self.t1 = t1
+        self.labels = labels or {}
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "track": self.track,
+                "t0": self.t0, "t1": self.t1, "labels": self.labels}
+
+
+def overlay_spans(registry) -> list[OverlaySpan]:
+    """Extract the background-activity spans worth overlaying on a
+    waterfall (GC reclaims, snapshots, WAL flushes) from a
+    :class:`~repro.obs.MetricsRegistry` span log."""
+    keep = ("gc_reclaim", "snapshot", "wal_flush", "wal_fsync")
+    return [OverlaySpan(s.name, s.track, s.t0, s.t1, dict(s.labels))
+            for s in registry.spans if s.name in keep]
+
+
+# ---------------------------------------------------------------- rendering
+def _fmt_t(seconds: float) -> str:
+    us = seconds * 1e6
+    if us >= 10_000:
+        return f"{us / 1000:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def format_waterfall(ctx: TraceContext, overlays=(), width: int = 44) -> str:
+    """Render one trace as a text waterfall, background activity
+    overlaid below (rows prefixed ``~``)."""
+    t0 = ctx.t0
+    t1 = ctx.t1 if ctx.t1 is not None else max(
+        (s.t1 for s in ctx.spans if s.t1 is not None), default=t0)
+    dur = max(t1 - t0, 1e-12)
+    by_id = {s.span_id: s for s in ctx.spans}
+
+    def depth(s) -> int:
+        d = 0
+        cur = s
+        while cur.parent_id is not None and cur.parent_id in by_id:
+            cur = by_id[cur.parent_id]
+            d += 1
+        return d
+
+    def bar(a, b, ch="#") -> str:
+        c0 = int((max(a, t0) - t0) / dur * width)
+        c1 = max(c0 + 1, int((min(b, t1) - t0) / dur * width))
+        c0 = min(c0, width - 1)
+        c1 = min(c1, width)
+        return " " * c0 + ch * (c1 - c0) + " " * (width - c1)
+
+    trunc = " TRUNCATED" if ctx.truncated else ""
+    head = (f"trace {ctx.trace_id} {ctx.name}"
+            f"{' tenant=' + ctx.tenant if ctx.tenant else ''}"
+            f" dur={_fmt_t(t1 - t0)}{trunc}")
+    lines = [head]
+    for s in sorted(ctx.spans, key=lambda s: (s.t0, s.span_id)):
+        end = s.t1 if s.t1 is not None else t1
+        label = "  " * depth(s) + s.name
+        extra = ""
+        if s.labels:
+            keys = sorted(s.labels)
+            extra = " [" + " ".join(f"{k}={s.labels[k]}" for k in keys) + "]"
+        if s.links:
+            extra += f" links={list(s.links)}"
+        lines.append(f"  {s.layer:>9} |{bar(s.t0, end)}| "
+                     f"{label} {_fmt_t(end - s.t0)}{extra}")
+    for ov in sorted(overlays, key=lambda o: (o.t0, o.name)):
+        if ov.t1 <= t0 or ov.t0 >= t1:
+            continue
+        keys = sorted(ov.labels)
+        extra = (" [" + " ".join(f"{k}={ov.labels[k]}" for k in keys) + "]"
+                 if ov.labels else "")
+        lines.append(f"  ~{ov.track:>8} |{bar(ov.t0, ov.t1, '=')}| "
+                     f"{ov.name} {_fmt_t(ov.duration)}{extra}")
+    return "\n".join(lines)
+
+
+def format_tail_table(report: TailReport) -> str:
+    """The tail-forensics table: one line per slow request."""
+    header = (f"{'#':>3} {'trace':>6} {'tenant':<8} {'op':<5} "
+              f"{'dur':>10} {'layer':<9} {'layer_t':>10} "
+              f"{'blame':<26} {'cross':<5}")
+    lines = [header, "-" * len(header)]
+    for r in report.rows:
+        att = r.attribution
+        if att.blamed:
+            owners = ",".join(att.owners) if att.owners else "?"
+            blame = (f"{att.span_name}[pid={att.stream} {owners}]"
+                     f" {_fmt_t(att.overlap)}")
+        else:
+            blame = "-"
+        lines.append(
+            f"{r.rank:>3} {r.ctx.trace_id:>6} {r.ctx.tenant or '-':<8} "
+            f"{r.ctx.name:<5} {_fmt_t(r.ctx.duration):>10} "
+            f"{r.layer:<9} {_fmt_t(r.layer_time):>10} "
+            f"{blame:<26} {'yes' if att.cross_tenant else 'no':<5}")
+    lines.append(
+        f"kept {report.kept} traces of {report.requests_seen} requests; "
+        f"{len(report.blamed)} blamed, "
+        f"{len(report.cross_tenant)} cross-tenant")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- exporters
+def trace_jsonl_records(tracer: RequestTracer, overlays=(),
+                        stream_owners=None, run: str = "slimio"):
+    """Yield the JSONL dump: meta, kept traces, spans, background
+    spans, and overlay spans — everything ``repro.obs report`` needs."""
+    owners = {str(k): sorted(v) for k, v in (stream_owners or {}).items()}
+    yield {
+        "type": "meta", "run": run,
+        "requests_seen": tracer.requests_seen,
+        "requests_dropped": tracer.requests_dropped,
+        "sample_every": tracer.sample_every,
+        "keep_slowest": tracer.keep_slowest,
+        "stream_owners": owners,
+    }
+    for tid in sorted(tracer.kept):
+        ctx = tracer.kept[tid]
+        rec = ctx.to_dict()
+        rec["type"] = "trace"
+        yield rec
+        for s in ctx.spans:
+            rec = s.to_dict()
+            rec["type"] = "span"
+            yield rec
+    for s in tracer.background:
+        rec = s.to_dict()
+        rec["type"] = "span"
+        rec["bg"] = True
+        yield rec
+    for ov in overlays:
+        rec = ov.to_dict()
+        rec["type"] = "overlay"
+        yield rec
+
+
+def write_trace_jsonl(path, tracer: RequestTracer, overlays=(),
+                      stream_owners=None, run: str = "slimio") -> int:
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in trace_jsonl_records(tracer, overlays, stream_owners, run):
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def load_trace_jsonl(lines):
+    """Rebuild (meta, contexts, background, overlays) from a dump."""
+    meta: dict = {}
+    ctxs: dict[int, TraceContext] = {}
+    background: list[TraceSpan] = []
+    overlays: list[OverlaySpan] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind == "meta":
+            meta = rec
+        elif kind == "trace":
+            ctx = TraceContext(rec["trace_id"], rec["name"],
+                               rec.get("tenant", ""), rec["t0"],
+                               sampled=rec.get("sampled", False))
+            ctx.t1 = rec.get("t1")
+            ctx.truncated = rec.get("truncated", False)
+            ctxs[ctx.trace_id] = ctx
+        elif kind == "span":
+            span = TraceSpan.from_dict(rec)
+            if rec.get("bg"):
+                background.append(span)
+            elif span.trace_id in ctxs:
+                ctxs[span.trace_id].spans.append(span)
+        elif kind == "overlay":
+            overlays.append(OverlaySpan(rec["name"], rec["track"],
+                                        rec["t0"], rec["t1"],
+                                        rec.get("labels") or {}))
+    owners = {int(k): set(v)
+              for k, v in (meta.get("stream_owners") or {}).items()}
+    meta["stream_owners"] = owners
+    return meta, list(ctxs.values()), background, overlays
+
+
+_PERFETTO_BG_PID = 0
+
+
+def perfetto_trace(tracer: RequestTracer, overlays=(),
+                   run: str = "slimio") -> dict:
+    """Chrome/Perfetto ``traceEvents`` JSON: one process per kept
+    request (pid = trace id), one thread per layer, flow events for
+    group-commit links, background + overlay activity under pid 0."""
+    tid_of = {layer: i + 1 for i, layer in enumerate(LAYERS)}
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": _PERFETTO_BG_PID,
+         "tid": 0, "args": {"name": "background (GC / flush / writeback)"}},
+    ]
+
+    def us(t: float) -> float:
+        return t * 1e6
+
+    def slice_event(span: TraceSpan, pid: int) -> dict:
+        args = {str(k): v for k, v in span.labels.items()}
+        if span.links:
+            args["links"] = list(span.links)
+        return {
+            "ph": "X", "name": span.name, "cat": span.layer,
+            "pid": pid, "tid": tid_of.get(span.layer, len(LAYERS) + 1),
+            "ts": us(span.t0), "dur": max(us(span.duration), 0.001),
+            "args": args,
+        }
+
+    flow_seq = 0
+    roots: dict[int, TraceSpan] = {}
+    for tid in sorted(tracer.kept):
+        ctx = tracer.kept[tid]
+        name = (f"req {ctx.trace_id} {ctx.name}"
+                f"{' ' + ctx.tenant if ctx.tenant else ''}"
+                f"{' TRUNCATED' if ctx.truncated else ''}")
+        events.append({"ph": "M", "name": "process_name", "pid": tid,
+                       "tid": 0, "args": {"name": name}})
+        for layer, ltid in tid_of.items():
+            events.append({"ph": "M", "name": "thread_name", "pid": tid,
+                           "tid": ltid, "args": {"name": layer}})
+        for s in ctx.spans:
+            if s.t1 is None:
+                continue
+            events.append(slice_event(s, tid))
+            if s.parent_id is None:
+                roots[tid] = s
+    for s in tracer.background:
+        events.append(slice_event(s, _PERFETTO_BG_PID))
+        for linked_tid in s.links:
+            root = roots.get(linked_tid)
+            if root is None:
+                continue
+            flow_seq += 1
+            ts_src = min(max(s.t0, root.t0), root.t1)
+            events.append({"ph": "s", "id": flow_seq, "name": "commit",
+                           "cat": "flow", "pid": linked_tid,
+                           "tid": tid_of["server"], "ts": us(ts_src)})
+            events.append({"ph": "f", "bp": "e", "id": flow_seq,
+                           "name": "commit", "cat": "flow",
+                           "pid": _PERFETTO_BG_PID,
+                           "tid": tid_of.get(s.layer, 1),
+                           "ts": us(s.t0)})
+    for ov in overlays:
+        args = {str(k): v for k, v in ov.labels.items()}
+        events.append({
+            "ph": "X", "name": ov.name, "cat": ov.track,
+            "pid": _PERFETTO_BG_PID,
+            "tid": tid_of.get(ov.track, len(LAYERS) + 2),
+            "ts": us(ov.t0), "dur": max(us(ov.duration), 0.001),
+            "args": args,
+        })
+    return {"displayTimeUnit": "ms",
+            "otherData": {"run": run},
+            "traceEvents": events}

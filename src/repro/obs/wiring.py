@@ -6,14 +6,19 @@ object with the same attribute names works) and calls each component's
 ``attach_obs``. Components created after attachment (the per-kind
 snapshot rings and paths, recovery read-ahead buffers) are wired at
 their creation sites via ``getattr(system, "obs", None)``.
+
+``attach_tracer`` does the same for request-level causal tracing: it
+plants one :class:`~repro.obs.trace.RequestTracer` on every component
+that knows how to feed it (``rtrace`` attribute).
 """
 
 from __future__ import annotations
 
 
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import RequestTracer
 
-__all__ = ["attach_registry"]
+__all__ = ["attach_registry", "attach_tracer"]
 
 #: system attributes probed for an ``attach_obs`` method, in wiring
 #: order (server first so its gauges register before kernel noise)
@@ -61,3 +66,33 @@ def attach_registry(system, registry: MetricsRegistry | None = None,
         if hasattr(sink, "attach_obs"):
             sink.attach_obs(registry)
     return registry
+
+
+def attach_tracer(system, tracer: RequestTracer | None = None,
+                  include_device: bool = True, tenant: str | None = None,
+                  **tracer_kw) -> RequestTracer:
+    """Wire a request tracer through ``system``; returns the tracer.
+
+    Creates one when none is passed (``tracer_kw`` forwards to
+    :class:`~repro.obs.trace.RequestTracer`). ``tenant`` names this
+    system on every trace (cluster shard attribution); defaults to the
+    server name. As with ``attach_registry``, pass
+    ``include_device=False`` for shared-device deployments and wire the
+    device's FTL once, separately.
+    """
+    if tracer is None:
+        tracer = RequestTracer(system.env, **tracer_kw)
+    system.rtrace = tracer
+    for attr in _COMPONENT_ATTRS:
+        comp = getattr(system, attr, None)
+        if comp is not None and hasattr(comp, "rtrace"):
+            comp.rtrace = tracer
+    server = getattr(system, "server", None)
+    if server is not None:
+        server.trace_tenant = tenant if tenant is not None else server.name
+    device = getattr(system, "device", None)
+    if include_device and device is not None:
+        device.ftl.rtrace = tracer
+    for ring in getattr(system, "_snap_rings", {}).values():
+        ring.rtrace = tracer
+    return tracer

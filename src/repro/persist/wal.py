@@ -79,6 +79,10 @@ class WalManager:
         self._closing = False
         self.counters = Counter()
         self.obs = None
+        #: request tracer (None = tracing off); drains record a
+        #: ``wal_flush`` span whose ``links`` name every trace id the
+        #: group commit makes durable
+        self.rtrace = None
         if policy is LoggingPolicy.PERIODICAL:
             env.process(self._flusher(), name="wal-flusher")
 
@@ -110,6 +114,8 @@ class WalManager:
         self._logged_bytes += len(data)
         self._staged_seq += 1
         self.counters.add("records")
+        if self.rtrace is not None:
+            self.rtrace.note_wal_stage(self._staged_seq)
         if self.obs is not None:
             self._obs_buffered.set(float(self._buffer_bytes))
         if self._buffer_bytes >= self.buffer_limit:
@@ -188,8 +194,21 @@ class WalManager:
             self._sink_lock.release(req)
         # outside the sink lock, so on its own span track (may overlap
         # a concurrent locked drain)
-        with maybe_span(self.obs, "wal_fsync", track="wal-sync"):
-            yield from self.sink.flush(self.account)
+        rt = self.rtrace
+        bg = None
+        tsp = None
+        if rt is not None and rt.current() is None:
+            bg = rt.begin_background("wal-sync")
+        if rt is not None:
+            tsp = rt.open_span("wal_fsync", "wal")
+        try:
+            with maybe_span(self.obs, "wal_fsync", track="wal-sync"):
+                yield from self.sink.flush(self.account)
+        finally:
+            if rt is not None:
+                rt.close_span(tsp)
+                if bg is not None:
+                    rt.finish_background(bg)
         self._durable_seq = max(self._durable_seq, top)
         self.counters.add("sync_flushes")
 
@@ -247,27 +266,57 @@ class WalManager:
 
     def _drain_locked(self, fsync: bool) -> Generator:
         top = self._staged_seq
-        if self._buffer:
-            data = b"".join(self._buffer)
-            self._buffer.clear()
-            self._buffer_bytes = 0
-            with maybe_span(self.obs, "wal_flush", track="wal",
-                            policy=self.policy.value):
-                yield from self.sink.append(data, self.account)
-            self.counters.add("drains")
-            self.counters.add("drained_bytes", len(data))
-            if self.obs is not None:
-                self._obs_flush_bytes.observe(float(len(data)))
-                self._obs_buffered.set(float(self._buffer_bytes))
-            if self._capacity_waiters and self._buffer_bytes < self.buffer_limit:
-                waiters, self._capacity_waiters = self._capacity_waiters, []
-                for w in waiters:
-                    w.succeed()
-        if fsync:
-            with maybe_span(self.obs, "wal_fsync", track="wal"):
-                yield from self.sink.flush(self.account)
-            self._durable_seq = max(self._durable_seq, top)
-            self.counters.add("sync_flushes")
+        rt = self.rtrace
+        bg = None
+        if rt is not None and rt.current() is None \
+                and (self._buffer or fsync):
+            # Periodical drains run in a background process with no
+            # request scope: trace them anonymously so their device
+            # spans stay available for blame analysis
+            bg = rt.begin_background("wal-drain")
+        try:
+            if self._buffer:
+                data = b"".join(self._buffer)
+                self._buffer.clear()
+                self._buffer_bytes = 0
+                tsp = None
+                if rt is not None:
+                    # the links are the causal join of group commit:
+                    # every request whose record this flush retires
+                    tsp = rt.open_span("wal_flush", "wal",
+                                       links=rt.take_staged(top),
+                                       policy=self.policy.value,
+                                       nbytes=len(data))
+                try:
+                    with maybe_span(self.obs, "wal_flush", track="wal",
+                                    policy=self.policy.value):
+                        yield from self.sink.append(data, self.account)
+                finally:
+                    if rt is not None:
+                        rt.close_span(tsp)
+                self.counters.add("drains")
+                self.counters.add("drained_bytes", len(data))
+                if self.obs is not None:
+                    self._obs_flush_bytes.observe(float(len(data)))
+                    self._obs_buffered.set(float(self._buffer_bytes))
+                if self._capacity_waiters and self._buffer_bytes < self.buffer_limit:
+                    waiters, self._capacity_waiters = self._capacity_waiters, []
+                    for w in waiters:
+                        w.succeed()
+            if fsync:
+                tsp = rt.open_span("wal_fsync", "wal") \
+                    if rt is not None else None
+                try:
+                    with maybe_span(self.obs, "wal_fsync", track="wal"):
+                        yield from self.sink.flush(self.account)
+                finally:
+                    if rt is not None:
+                        rt.close_span(tsp)
+                self._durable_seq = max(self._durable_seq, top)
+                self.counters.add("sync_flushes")
+        finally:
+            if bg is not None:
+                rt.finish_background(bg)
 
     def _kick(self) -> None:
         if self._flush_kick is not None and not self._flush_kick.triggered:

@@ -102,3 +102,66 @@ def test_error_lane_retries_and_loses_nothing():
     assert lane.retries > 0  # the ring demonstrably absorbed failures
     assert lane.giveups == 0
     assert lane.final_state_ok and lane.recovered_state_ok
+
+
+# ------------------------------------------------------------ causal tracing
+def test_crash_matrix_clean_with_tracing_enabled():
+    """Tracing every request changes no verdict: the matrix stays
+    green and every harvested trace validates (satellite of the
+    tail-forensics work)."""
+    cfg = CrashMatrixConfig(ops=12, keys=5, snapshot_at=4, max_cuts=6,
+                            aftershock_ops=2, trace=True)
+    report = run_crash_matrix(cfg)
+    assert report.ok, [o.issues for o in report.failures]
+
+
+def test_power_cut_mid_wal_append_yields_truncated_trace():
+    """A cut landing inside a WAL append leaves a well-formed trace:
+    every span closed at cut time, the in-flight wal_commit marked
+    failed + truncated."""
+    from repro.core import SlimIOSystem
+    from repro.faults.harness import _driver, _make_device
+    from repro.faults.injector import FaultyDevice, PowerCutSpec
+    from repro.obs import attach_tracer
+    from repro.obs.trace import validate_trace
+    from repro.sim import Environment
+
+    cfg = CrashMatrixConfig(ops=18, keys=6, snapshot_at=None,
+                            wal_trigger_bytes=8 * 1024)
+    sys_cfg = cfg.system_config()
+    ops = build_ops(cfg)
+    trace, _ = _golden_run(cfg, sys_cfg, ops)
+    # a later page write: by then the driver is mid-run, inside the
+    # wal_commit of whichever op the cut interrupts
+    writes = [e for e in trace if e.kind == "write"]
+    cut = writes[len(writes) // 2].first_page
+
+    env = Environment(fast_resume=sys_cfg.fast_sim)
+    faulty = FaultyDevice(
+        _make_device(env, sys_cfg),
+        power=PowerCutSpec(at_page_write=cut, torn="prefix",
+                           seed=cfg.seed),
+    )
+    system = SlimIOSystem(env, sys_cfg, device=faulty)
+    tracer = attach_tracer(system, sample_every=1)
+    progress = {"started": 0, "acked": 0}
+    done = env.process(
+        _driver(system, ops, progress, None, cfg.settle),
+        name="crash-driver",
+    )
+    env.run(until=env.any_of([faulty.cut_event, done]))
+    system.stop()
+    assert faulty.power_lost
+    drained = tracer.drain_open()
+    assert drained, "the cut should interrupt an in-flight request"
+
+    for ctx in tracer.kept.values():
+        assert validate_trace(ctx) == []
+    truncated = [c for c in tracer.kept.values() if c.truncated
+                 and not c.background]
+    assert truncated
+    victim = truncated[0]
+    cut_spans = [s for s in victim.spans
+                 if s.labels.get("truncated") and not s.ok]
+    assert cut_spans
+    assert any(s.layer == "wal" for s in victim.spans)

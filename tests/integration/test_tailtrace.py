@@ -1,0 +1,45 @@
+"""The tail-forensics acceptance claim, as a regular test.
+
+``tailtrace`` is the mechanism-level companion to the cluster scaling
+experiment: when tenants outnumber the PID budget, at least one slow
+request must be *causally* attributed to a neighbor tenant's GC (its
+critical path overlaps a copying reclaim of a stream the victim does
+not own exclusively); with dedicated PIDs the attribution must vanish
+— not merely shrink — because copy-free GC leaves nothing to blame.
+"""
+
+import pytest
+
+from repro.bench.experiments import tailtrace
+from repro.bench.scales import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One tailtrace experiment run (two traced cluster runs)."""
+    return tailtrace(TEST_SCALE)
+
+
+def test_shared_pids_produce_cross_tenant_blame(result):
+    """>=1 top-K slow op blamed on another tenant's GC when PIDs are
+    shared (the paper's interference mechanism, per request)."""
+    assert result.telemetry["shared"]["cross_tenant"] >= 1
+
+
+def test_dedicated_pids_have_zero_cross_tenant_blame(result):
+    """Isolation removes the blame entirely, not just mostly."""
+    assert result.telemetry["dedicated"]["cross_tenant"] == 0
+    assert result.telemetry["dedicated"]["waf_max"] == pytest.approx(1.0)
+
+
+def test_all_shape_checks_hold(result):
+    assert result.shapes_hold, result.format()
+
+
+def test_report_contains_worked_waterfall(result):
+    """The formatted report shows the forensics table and the worst
+    cross-tenant victim's waterfall with the GC overlay row."""
+    text = result.format()
+    assert "cross-tenant" in text
+    assert "gc_reclaim" in text
+    assert "~" in text  # overlay track marker in the waterfall

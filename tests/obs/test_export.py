@@ -130,3 +130,48 @@ def test_cli_summarize_empty_is_error(tmp_path, capsys):
     path.write_text("")
     assert obs_main(["summarize", str(path)]) == 1
     assert "empty" in capsys.readouterr().err
+
+
+def test_prometheus_empty_histogram_has_no_nan_quantiles():
+    """A never-observed histogram exports count/sum but no NaN
+    quantile lines (pin for the empty-reservoir edge)."""
+    env = Environment()
+    reg = MetricsRegistry(env, name="empty")
+    reg.histogram("lat")  # registered, never observed
+    text = prometheus_text(reg)
+    assert 'lat_count 0' in text
+    assert 'lat_sum 0.0' in text
+    assert "quantile" not in text
+    assert "NaN" not in text
+
+
+def test_prometheus_nonempty_histogram_keeps_quantiles(reg):
+    text = prometheus_text(reg)
+    assert 'lat{quantile="0.50"}' in text
+    assert 'lat{quantile="0.99"}' in text
+    assert "NaN" not in text
+
+
+def test_summary_faults_and_retries_section():
+    """faults_* / uring_retries_total surface as their own forensics
+    section in the text summary."""
+    env = Environment()
+    reg = MetricsRegistry(env, name="faulty")
+    reg.counter("faults_errors_injected_total").inc(3)
+    reg.counter("uring_retries_total", ring="wal").inc(2)
+    reg.counter("uring_retry_giveups_total", ring="wal")
+    recs = list(jsonl_records(reg))
+    text = summarize_records(recs)
+    assert "faults & retries:" in text
+    assert "injected events: 3   ring retries: 2   give-ups: 0" in text
+    assert "faults_errors_injected_total" in text
+    assert 'uring_retries_total{ring="wal"}' in text
+    # and the same counters appear in the Prometheus exposition
+    prom = prometheus_text(reg)
+    assert "faults_errors_injected_total 3" in prom
+    assert 'uring_retries_total{ring="wal"} 2' in prom
+
+
+def test_summary_without_faults_has_no_section(reg):
+    assert "faults & retries" not in summarize_records(
+        list(jsonl_records(reg)))

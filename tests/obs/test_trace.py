@@ -1,0 +1,286 @@
+"""Request-level causal tracing: spans, retention, blame, exporters."""
+
+import json
+
+import pytest
+
+from repro import LoggingPolicy, SystemConfig, build_slimio
+from repro.obs import attach_tracer
+from repro.obs.trace import (
+    Attribution,
+    OverlaySpan,
+    RequestTracer,
+    TraceContext,
+    TraceSpan,
+    attribute_interference,
+    critical_path,
+    dominant_layer,
+    load_trace_jsonl,
+    perfetto_trace,
+    tail_report,
+    trace_jsonl_records,
+    validate_trace,
+)
+from repro.sim import Environment
+from repro.workloads import RedisBenchWorkload
+
+
+def _workload():
+    return RedisBenchWorkload(
+        clients=4, total_ops=600, key_count=128, value_size=2048,
+        snapshot_at_fraction=0.5,
+    )
+
+
+def _traced_system(**tracer_kw):
+    system = build_slimio(
+        config=SystemConfig(policy=LoggingPolicy.ALWAYS))
+    tracer = attach_tracer(system, **tracer_kw)
+    return system, tracer
+
+
+# ---------------------------------------------------------------- end to end
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self):
+        system, tracer = _traced_system(sample_every=4, keep_slowest=8)
+        rep = _workload().run(system)
+        system.stop()
+        tracer.drain_open()
+        return system, tracer, rep
+
+    def test_requests_counted_and_sampled(self, run):
+        _, tracer, rep = run
+        assert tracer.requests_seen == 600
+        # sampling + reservoir keeps a bounded subset
+        assert 600 // 4 <= len(tracer.kept) <= 600 // 4 + 8 + 4
+
+    def test_traces_are_well_formed(self, run):
+        _, tracer, _ = run
+        problems = [p for ctx in tracer.kept.values()
+                    for p in validate_trace(ctx)]
+        assert problems == []
+
+    def test_set_traces_reach_the_device(self, run):
+        _, tracer, _ = run
+        sets = [c for c in tracer.kept.values()
+                if c.name == "SET" and not c.truncated]
+        assert sets
+        layers = set()
+        names = set()
+        for ctx in sets:
+            layers.update(s.layer for s in ctx.spans)
+            names.update(s.name for s in ctx.spans)
+        # ALWAYS policy: the client waits on its WAL append, so the
+        # causal chain runs server -> wal -> nvme -> nand in-trace
+        assert {"server", "wal", "nvme", "nand"} <= layers
+        assert {"wal_commit", "nvme_cmd", "nand_program"} <= names
+
+    def test_tracing_is_pure_observation(self, run):
+        """Attaching a tracer changes no simulator behavior: same
+        events dispatched, same final sim time, with zero tracer
+        events of its own."""
+        traced_system, _, _ = run
+        plain = build_slimio(
+            config=SystemConfig(policy=LoggingPolicy.ALWAYS))
+        _workload().run(plain)
+        plain.stop()
+        assert (plain.env.events_processed
+                == traced_system.env.events_processed)
+        assert plain.env.now == traced_system.env.now
+
+    def test_jsonl_round_trip(self, run):
+        _, tracer, _ = run
+        records = trace_jsonl_records(tracer, run="unit")
+        lines = [json.dumps(r) for r in records]
+        meta, contexts, background, overlays = load_trace_jsonl(lines)
+        assert meta["run"] == "unit"
+        assert len(contexts) == len(tracer.kept)
+        assert len(background) == len(tracer.background)
+        total_spans = sum(len(c.spans) for c in tracer.kept.values())
+        assert sum(len(c.spans) for c in contexts) == total_spans
+
+    def test_perfetto_export_shape(self, run):
+        _, tracer, _ = run
+        doc = perfetto_trace(tracer, run="unit")
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X"} <= phases
+        # serializable as-is
+        json.dumps(doc)
+
+
+# ---------------------------------------------------------------- retention
+def _drive(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+
+
+class TestRetention:
+    def test_keep_slowest_reservoir(self):
+        env = Environment()
+        tracer = RequestTracer(env, sample_every=1000, keep_slowest=3)
+
+        def gen():
+            for i in range(20):
+                ctx = tracer.start_request("GET")
+                # request i takes i microseconds: slowest are 17,18,19
+                yield env.timeout(i * 1e-6)
+                tracer.finish_request(ctx)
+
+        _drive(env, gen())
+        assert tracer.requests_seen == 20
+        durs = sorted(round(c.duration * 1e6) for c in
+                      tracer.kept.values())
+        assert durs == [17, 18, 19]
+        assert tracer.requests_dropped == 17
+
+    def test_head_sampling_is_unconditional(self):
+        env = Environment()
+        tracer = RequestTracer(env, sample_every=5, keep_slowest=2)
+
+        def gen():
+            for i in range(20):
+                ctx = tracer.start_request("GET")
+                yield env.timeout((20 - i) * 1e-6)  # early ones slowest
+                tracer.finish_request(ctx)
+
+        _drive(env, gen())
+        sampled = {tid for tid, c in tracer.kept.items() if c.sampled}
+        assert sampled == {5, 10, 15, 20}
+
+    def test_drain_open_truncates_and_keeps(self):
+        env = Environment()
+        tracer = RequestTracer(env, sample_every=1000, keep_slowest=1)
+
+        def gen():
+            ctx = tracer.start_request("SET", tenant="shard0")
+            tracer.open_span("wal_commit", "wal")
+            yield env.timeout(1e-6)
+            # power cut: nothing ever finishes
+            drained = tracer.drain_open()
+            assert drained == [ctx]
+
+        _drive(env, gen())
+        (ctx,) = tracer.kept.values()
+        assert ctx.truncated
+        assert validate_trace(ctx) == []
+        assert all(s.t1 is not None for s in ctx.spans)
+        assert any(s.labels.get("truncated") for s in ctx.spans)
+
+
+# ---------------------------------------------------------------- analysis
+def _span(tid, sid, parent, name, layer, t0, t1, **labels):
+    return TraceSpan(tid, sid, parent, name, layer, t0, t1,
+                     labels=labels or None)
+
+
+def _ctx(tid, spans, tenant="a", name="SET"):
+    ctx = TraceContext(tid, name, tenant, spans[0].t0)
+    ctx.t1 = spans[0].t1
+    ctx.spans.extend(spans)
+    return ctx
+
+
+class TestAnalysis:
+    def test_critical_path_and_dominant_layer(self):
+        spans = [
+            _span(1, 1, None, "SET", "server", 0.0, 10.0),
+            _span(1, 2, 1, "wal_commit", "wal", 2.0, 9.0),
+            _span(1, 3, 2, "nand_program", "nand", 3.0, 8.0),
+        ]
+        layer, t = dominant_layer(spans)
+        assert (layer, t) == ("nand", 5.0)
+        segments = {(s.name, a, b) for s, a, b in critical_path(spans)}
+        assert ("nand_program", 3.0, 8.0) in segments
+        assert ("SET", 0.0, 2.0) in segments
+        # total critical path covers the root exactly once
+        assert sum(b - a for _, a, b in critical_path(spans)) == 10.0
+
+    def test_direct_blame_cross_tenant(self):
+        ctx = _ctx(1, [
+            _span(1, 1, None, "SET", "server", 0.0, 10.0),
+            _span(1, 2, 1, "nvme_cmd", "nvme", 4.0, 9.0),
+        ])
+        gc = [OverlaySpan("gc_reclaim", "gc", 5.0, 8.0,
+                          {"stream": 3, "copied": 12})]
+        att = attribute_interference(
+            ctx, gc, stream_owners={3: {"a", "b"}})
+        assert att.blamed and att.cross_tenant
+        assert att.via == "direct"
+        assert att.overlap == 3.0
+        assert att.owners == ("a", "b")
+
+    def test_copy_free_gc_is_never_blamed(self):
+        ctx = _ctx(1, [
+            _span(1, 1, None, "SET", "server", 0.0, 10.0),
+            _span(1, 2, 1, "nvme_cmd", "nvme", 4.0, 9.0),
+        ])
+        gc = [OverlaySpan("gc_reclaim", "gc", 5.0, 8.0,
+                          {"stream": 3, "copied": 0})]
+        att = attribute_interference(ctx, gc, stream_owners={3: {"b"}})
+        assert not att.blamed
+
+    def test_own_stream_blame_is_not_cross_tenant(self):
+        ctx = _ctx(1, [
+            _span(1, 1, None, "SET", "server", 0.0, 10.0),
+            _span(1, 2, 1, "nvme_cmd", "nvme", 4.0, 9.0),
+        ])
+        gc = [OverlaySpan("gc_reclaim", "gc", 5.0, 8.0,
+                          {"stream": 3, "copied": 7})]
+        att = attribute_interference(ctx, gc, stream_owners={3: {"a"}})
+        assert att.blamed and not att.cross_tenant
+
+    def test_group_commit_blame_via_links(self):
+        """A request with no device spans of its own is blamed through
+        the wal_flush that retired it (background buffer)."""
+        ctx = _ctx(7, [_span(7, 1, None, "SET", "server", 0.0, 2.0)])
+        flush = TraceSpan(-1, 9, None, "wal_flush", "wal", 5.0, 10.0,
+                          links=(7,))
+        flush_io = _span(-1, 10, 9, "nvme_cmd", "nvme", 6.0, 9.0)
+        gc = [OverlaySpan("gc_reclaim", "gc", 6.5, 8.5,
+                          {"stream": 1, "copied": 4})]
+        att = attribute_interference(
+            ctx, gc, background=[flush, flush_io],
+            stream_owners={1: {"a", "b"}})
+        assert att.blamed and att.cross_tenant
+        assert att.via == "link"
+
+    def test_tail_report_ranks_by_duration(self):
+        ctxs = [
+            _ctx(1, [_span(1, 1, None, "SET", "server", 0.0, 1.0)]),
+            _ctx(2, [_span(2, 2, None, "SET", "server", 0.0, 5.0)]),
+            _ctx(3, [_span(3, 3, None, "GET", "server", 0.0, 3.0)]),
+        ]
+        rep = tail_report(ctxs, top_k=2, requests_seen=3)
+        assert [r.ctx.trace_id for r in rep.rows] == [2, 3]
+        assert rep.kept == 3
+
+    def test_attribution_defaults(self):
+        assert not Attribution().blamed
+
+
+# ---------------------------------------------------------------- CLI
+def test_report_cli(tmp_path, capsys):
+    from repro.obs import write_trace_jsonl
+    from repro.obs.__main__ import main as obs_main
+
+    system, tracer = _traced_system(sample_every=4, keep_slowest=8)
+    _workload().run(system)
+    system.stop()
+    tracer.drain_open()
+    path = tmp_path / "run.trace.jsonl"
+    write_trace_jsonl(path, tracer, run="unit")
+    assert obs_main(["report", str(path), "-k", "4", "-w", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "tail forensics" in out
+    assert "trace " in out  # at least one waterfall rendered
+
+
+def test_report_cli_empty_dump_is_error(tmp_path, capsys):
+    from repro.obs.__main__ import main as obs_main
+
+    path = tmp_path / "empty.trace.jsonl"
+    path.write_text('{"type": "meta", "run": "x"}\n')
+    assert obs_main(["report", str(path)]) == 1
+    assert "no traces" in capsys.readouterr().err
