@@ -45,6 +45,12 @@ The rules (see docs/ANALYSIS.md for the full rationale):
 * **SLIM008** — no mutation of the LBA state machine (slot ``roles``,
   WAL ``head``/``gen_start``/``prev_start``) outside ``repro/core``;
   those fields move only through the §4.2 protocol.
+* **SLIM009** — ``repro.net`` is a *simulated* network: no real-network
+  module imports (``socket``, ``asyncio``, ``ssl``, ...) and no
+  ``time.*`` calls at all (not even the measurement-shell exemption
+  SLIM003 grants ``perf_counter``) — connection timing must come from
+  the Environment clock, or open-loop schedules stop being
+  reproducible.
 """
 
 from __future__ import annotations
@@ -105,6 +111,9 @@ LAYER_RANKS = {
     # above core (the engine reaches it only via lazy import)
     "faults": 9,
     "workloads": 9,
+    # the simulated connection front end frames RESP through imdb and
+    # draws its key/value generators from workloads; bench sits above
+    "net": 9,
     "cluster": 10,
     "bench": 11,
 }
@@ -473,6 +482,56 @@ def _check_state_mutation(tree: ast.AST, ctx: ModuleContext) -> Iterator[Finding
                 )
 
 
+# --------------------------------------------------------------------------
+# SLIM009 — the simulated network must stay simulated
+# --------------------------------------------------------------------------
+
+#: module roots whose import into repro.net means real networking (or a
+#: real event loop) is leaking into the simulation
+_NET_FORBIDDEN_IMPORTS = {
+    "socket", "socketserver", "selectors", "ssl", "asyncio", "http",
+    "urllib", "requests", "websockets", "ftplib", "smtplib", "telnetlib",
+}
+
+
+def _check_net_purity(tree: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.package != "net":
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _NET_FORBIDDEN_IMPORTS:
+                    yield _find(
+                        ctx, "SLIM009", node,
+                        f"import {alias.name} inside repro.net — the "
+                        f"connection front end is simulated; model "
+                        f"sockets with Store/Event on the Environment "
+                        f"clock, never real ones",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            root = node.module.split(".")[0]
+            if root in _NET_FORBIDDEN_IMPORTS:
+                yield _find(
+                    ctx, "SLIM009", node,
+                    f"import from {node.module} inside repro.net — the "
+                    f"connection front end is simulated; model sockets "
+                    f"with Store/Event on the Environment clock, never "
+                    f"real ones",
+                )
+        elif isinstance(node, ast.Call):
+            parts = _dotted(node.func)
+            if len(parts) >= 2 and parts[-2] == "time":
+                yield _find(
+                    ctx, "SLIM009", node,
+                    f"time.{parts[-1]}() inside repro.net — no wall "
+                    f"clock of any kind here (SLIM003's measurement-"
+                    f"shell exemption does not apply); latency and "
+                    f"pacing come from env.now",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     Rule("SLIM001", "direct-device-access",
          "no device.submit/peek outside kernel+nvme", _check_device_access),
@@ -493,6 +552,8 @@ RULES: tuple[Rule, ...] = (
          _check_untagged_writes),
     Rule("SLIM008", "state-machine-mutation",
          "no slot/WAL state mutation outside core", _check_state_mutation),
+    Rule("SLIM009", "net-purity",
+         "repro.net: no real sockets, no wall clocks", _check_net_purity),
 )
 
 

@@ -24,10 +24,15 @@ __all__ = [
     "decode",
     "encode_command",
     "decode_command",
+    "op_from_command",
     "RespParser",
 ]
 
 CRLF = b"\r\n"
+
+#: internal sentinel: a consumed-but-empty inline line (blank line
+#: between commands); never surfaced by :meth:`RespParser.parse`
+_SKIP = object()
 
 
 class ProtocolError(Exception):
@@ -100,12 +105,15 @@ class RespParser:
 
     def parse(self) -> tuple[bool, RespValue]:
         """Try to pop one value; returns (complete, value)."""
-        got = self._parse_at(0)
-        if got is None:
-            return False, None
-        value, end = got
-        del self._buf[:end]
-        return True, value
+        while True:
+            got = self._parse_at(0)
+            if got is None:
+                return False, None
+            value, end = got
+            del self._buf[:end]
+            if value is _SKIP:
+                continue  # blank inline line: consumed, try again
+            return True, value
 
     # -- internals ---------------------------------------------------------
     def _line_end(self, pos: int) -> int | None:
@@ -116,6 +124,36 @@ class RespParser:
         if pos >= len(self._buf):
             return None
         kind = self._buf[pos:pos + 1]
+        if kind in (b"\r", b"\n"):
+            # A blank line between commands (Redis tolerates these in
+            # inline mode). It must be consumed *before* the generic
+            # header scan below: otherwise the leading CRLF would be
+            # folded into the next frame's header and a typed frame
+            # following it ("\r\n*1\r\n...") would be mis-framed as a
+            # bogus inline command.
+            if kind == b"\n":
+                return _SKIP, pos + 1
+            if pos + 1 >= len(self._buf):
+                return None  # may be the first half of a CRLF
+            if self._buf[pos + 1:pos + 2] != b"\n":
+                raise ProtocolError("bare CR in inline command")
+            return _SKIP, pos + 2
+        if kind not in (b"+", b"-", b":", b"$", b"*"):
+            # inline command: a bare line of space-separated words.
+            # Inline mode is line-oriented, and real clients may send
+            # bare-LF line endings, so the terminator is the first LF
+            # (with an optional CR stripped) — unlike typed frames,
+            # which require a strict CRLF.
+            nl = self._buf.find(b"\n", pos)
+            if nl < 0:
+                return None
+            line = bytes(self._buf[pos:nl])
+            if line.endswith(b"\r"):
+                line = line[:-1]
+            words = [bytes(w) for w in line.split()]
+            if not words:
+                return _SKIP, nl + 1  # whitespace-only line
+            return words, nl + 1
         eol = self._line_end(pos + 1)
         if eol is None:
             return None
@@ -157,17 +195,16 @@ class RespParser:
             items = []
             cursor = body_start
             for _ in range(n):
-                got = self._parse_at(cursor)
-                if got is None:
-                    return None
-                item, cursor = got
+                while True:  # tolerate stray blank lines between items
+                    got = self._parse_at(cursor)
+                    if got is None:
+                        return None
+                    item, cursor = got
+                    if item is not _SKIP:
+                        break
                 items.append(item)
             return items, cursor
-        # inline command: a bare line of space-separated words
-        words = header.split()
-        if not words and kind not in b"+-:$*":
-            raise ProtocolError("empty inline command")
-        return [bytes(w) for w in (kind + header).split()], body_start
+        raise ProtocolError(f"unreachable kind {kind!r}")
 
 
 def decode(data: bytes) -> RespValue:
@@ -200,7 +237,15 @@ def encode_command(op: ClientOp) -> bytes:
 
 def decode_command(data: bytes) -> ClientOp:
     """One RESP command array → ClientOp (SET/GET/DEL subset)."""
-    value = decode(data)
+    return op_from_command(decode(data))
+
+
+def op_from_command(value: RespValue) -> ClientOp:
+    """An already-parsed command (array or inline word list) → ClientOp.
+
+    The connection layer parses frames incrementally with
+    :class:`RespParser` and maps each one through here.
+    """
     if not isinstance(value, list) or not value:
         raise ProtocolError("command must be a non-empty array")
     words = [v if isinstance(v, bytes) else str(v).encode() for v in value]

@@ -221,10 +221,19 @@ class Server:
         t_arrive = self.env.now
         rt = self.rtrace
         ctx = None
+        owns_ctx = False
         if rt is not None:
-            ctx = rt.start_request(
-                op.op, tenant=self.trace_tenant or self.name
-            )
+            # a connection front end (repro.net) may have opened the
+            # request trace already — nest under it instead of starting
+            # a second root
+            ctx = rt.current()
+            if ctx is None:
+                ctx = rt.start_request(
+                    op.op, tenant=self.trace_tenant or self.name
+                )
+                owns_ctx = True
+            elif not ctx.tenant:
+                ctx.tenant = self.trace_tenant or self.name
         ok = False
         try:
             req = self.cpu.request()
@@ -268,7 +277,7 @@ class Server:
                     self._obs_stall_time.observe(self.env.now - t_stall)
             ok = True
         finally:
-            if ctx is not None:
+            if ctx is not None and owns_ctx:
                 rt.finish_request(ctx, ok=ok)
         latency = self.env.now - t_arrive
         self.metrics.record_op(op.op, latency)

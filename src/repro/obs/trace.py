@@ -62,7 +62,7 @@ __all__ = [
 ]
 
 #: render/export order of the layers a request crosses, top to bottom
-LAYERS = ("server", "wal", "pagecache", "nvme", "ftl", "nand")
+LAYERS = ("net", "server", "wal", "pagecache", "nvme", "ftl", "nand")
 
 _DEVICE_LAYERS = frozenset(("nvme", "ftl", "nand"))
 
@@ -208,15 +208,22 @@ class RequestTracer:
 
     # ------------------------------------------------------------ requests
     def start_request(self, name: str, tenant: str = "",
+                      layer: str = "server", t0: float | None = None,
                       **labels) -> TraceContext:
-        """Open a trace for the op the *current* process is serving."""
+        """Open a trace for the op the *current* process is serving.
+
+        ``layer`` tags the root span; the connection front end opens
+        requests at layer ``"net"`` so queue residency before the
+        server CPU is part of the trace.  ``t0`` backdates the trace to
+        the request's *intended* start (open-loop schedules): the trace
+        duration then matches the coordinated-omission-free latency."""
         self.requests_seen += 1
         tid = self.requests_seen
-        now = self.env.now
+        now = self.env.now if t0 is None else t0
         ctx = TraceContext(tid, name, tenant, now,
                            sampled=(tid % self.sample_every) == 0)
         self._span_seq += 1
-        root = TraceSpan(tid, self._span_seq, None, name, "server", now,
+        root = TraceSpan(tid, self._span_seq, None, name, layer, now,
                          labels=dict(labels) if labels else None)
         ctx.spans.append(root)
         self._scopes[self.env.active_process] = _Scope(ctx, [root.span_id])

@@ -116,7 +116,13 @@ class ZipfianKeys:
         # scramble table for hot-item scatter
         self._perm = np.random.default_rng(seed ^ 0x5EED).permutation(n)
 
-    def draw(self, n: int) -> np.ndarray:
+    def ranks(self, n: int) -> np.ndarray:
+        """Raw popularity ranks (0 = hottest), no scramble applied.
+
+        YCSB's "latest" distribution wants rank order preserved (rank 0
+        maps to the newest key), so this is exposed separately from
+        :meth:`draw`.
+        """
         u = self._rng.random(n)
         uz = u * self._zetan
         ranks = np.empty(n, dtype=np.int64)
@@ -130,4 +136,7 @@ class ZipfianKeys:
             * np.power(self._eta * u[m3] - self._eta + 1.0, self._alpha)
         ).astype(np.int64)
         np.clip(ranks, 0, self.key_count - 1, out=ranks)
-        return self._perm[ranks]
+        return ranks
+
+    def draw(self, n: int) -> np.ndarray:
+        return self._perm[self.ranks(n)]

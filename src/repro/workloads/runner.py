@@ -39,6 +39,17 @@ class WorkloadReport:
     waf: float = 1.0
     gc_segments_erased: int = 0
     timeline: tuple[np.ndarray, np.ndarray] | None = None
+    #: intended-schedule rate (ops/s) when the run was paced; None for
+    #: plain closed-loop runs
+    target_rate: float | None = None
+    #: coordinated-omission-corrected percentiles: latency measured
+    #: from each op's *intended* start on the fixed schedule, so time
+    #: an op spent waiting behind a slow server is charged to it
+    corrected_set_p999: float = float("nan")
+    corrected_get_p999: float = float("nan")
+    corrected_set_mean: float = float("nan")
+    #: measured ops that started later than their intended instant
+    late_starts: int = 0
 
     @property
     def mean_snapshot_time(self) -> float:
@@ -47,7 +58,17 @@ class WorkloadReport:
 
 
 class ClosedLoopWorkload:
-    """N clients, zero think time, a shared pre-drawn op sequence."""
+    """N clients, zero think time, a shared pre-drawn op sequence.
+
+    With ``target_rate`` set, the clients pace themselves against a
+    fixed schedule (op ``i`` is *intended* to start at ``i /
+    target_rate``) and the report carries coordinated-omission-
+    corrected percentiles: a pure closed loop lets a slow server
+    throttle its own load generator, so the latency distribution never
+    sees the requests that would have arrived during a stall — the
+    wrk2 correction measures every op from its intended instant
+    instead.
+    """
 
     def __init__(
         self,
@@ -62,11 +83,14 @@ class ClosedLoopWorkload:
         preload_records: int = 0,
         snapshot_at_fraction: float | None = None,
         incompressible_fraction: float = 0.6,
+        target_rate: float | None = None,
     ):
         if clients < 1 or total_ops < 1:
             raise ValueError("clients and total_ops must be >= 1")
         if not 0.0 <= get_ratio <= 1.0:
             raise ValueError("get_ratio must be in [0, 1]")
+        if target_rate is not None and target_rate <= 0:
+            raise ValueError("target_rate must be positive")
         self.clients = clients
         self.total_ops = total_ops
         self.key_count = key_count
@@ -78,6 +102,7 @@ class ClosedLoopWorkload:
         self.preload_records = preload_records
         self.snapshot_at_fraction = snapshot_at_fraction
         self.incompressible_fraction = incompressible_fraction
+        self.target_rate = target_rate
 
     # ------------------------------------------------------------------ sequence
     def _draw_sequence(self) -> tuple[np.ndarray, np.ndarray]:
@@ -128,6 +153,9 @@ class ClosedLoopWorkload:
         measure_from = {"t": 0.0, "done": warmup_ops == 0}
         ondemand_started = {"done": snapshot_at is None}
         ftl0 = {"host": 0, "gc": 0, "erased": 0}
+        rate = self.target_rate
+        sched_t0 = env.now
+        corrected = {"set": [], "get": [], "late": 0}
 
         def client():
             while True:
@@ -135,6 +163,14 @@ class ClosedLoopWorkload:
                 if i >= self.total_ops:
                     return
                 cursor["i"] = i + 1
+                if rate is not None:
+                    # fixed intended schedule: op i belongs at i/rate no
+                    # matter how far behind the clients have fallen
+                    t_int = sched_t0 + i / rate
+                    if env.now < t_int:
+                        yield env.timeout(t_int - env.now)
+                else:
+                    t_int = env.now
                 if not measure_from["done"] and i >= warmup_ops:
                     measure_from["done"] = True
                     measure_from["t"] = env.now
@@ -143,7 +179,13 @@ class ClosedLoopWorkload:
                     ftl0.update(host=st.host_pages_written,
                                 gc=st.gc_pages_copied,
                                 erased=st.segments_erased)
+                t_start = env.now
                 yield from system.server.execute(self._op(keys[i], is_get[i]))
+                if rate is not None and i >= warmup_ops:
+                    corrected["get" if is_get[i] else "set"].append(
+                        env.now - t_int)
+                    if t_start > t_int:
+                        corrected["late"] += 1
                 if (
                     snapshot_at is not None
                     and i >= snapshot_at
@@ -164,9 +206,10 @@ class ClosedLoopWorkload:
                 yield env.timeout(1e-3)
 
         env.run(until=env.process(settle(), name="settle"))
-        return self._report(system, measure_from["t"], ftl0)
+        return self._report(system, measure_from["t"], ftl0, corrected)
 
-    def _report(self, system, t0: float, ftl0: dict) -> WorkloadReport:
+    def _report(self, system, t0: float, ftl0: dict,
+                corrected: dict | None = None) -> WorkloadReport:
         env = system.env
         m = system.metrics
         rep = WorkloadReport()
@@ -193,6 +236,16 @@ class ClosedLoopWorkload:
             span = ts[-1] - ts[0]
             bin_w = max(span / 60.0, 1e-6)
             rep.timeline = m.ops.rate(bin_w)
+        if self.target_rate is not None and corrected is not None:
+            rep.target_rate = self.target_rate
+            rep.late_starts = corrected["late"]
+            if corrected["set"]:
+                s = np.asarray(corrected["set"])
+                rep.corrected_set_p999 = float(np.percentile(s, 99.9))
+                rep.corrected_set_mean = float(s.mean())
+            if corrected["get"]:
+                rep.corrected_get_p999 = float(
+                    np.percentile(np.asarray(corrected["get"]), 99.9))
         return rep
 
 

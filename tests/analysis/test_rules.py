@@ -137,6 +137,41 @@ def test_slim008_lba_bookkeeping_writes():
     assert lint_source(src, package="core").ok
 
 
+# ------------------------------------------------------------------ SLIM009
+def test_slim009_real_socket_imports_forbidden_in_net():
+    for src in ("import socket\n",
+                "import asyncio.streams\n",
+                "from socket import AF_INET\n",
+                "from ssl import SSLContext\n"):
+        assert codes(lint_source(src, package="net")) == ["SLIM009"], src
+    # the same imports are SLIM009-clean elsewhere (other rules may
+    # still have opinions, so select the one under test)
+    assert lint_source("import socket\n", package="bench",
+                       select={"SLIM009"}).ok
+
+
+def test_slim009_wall_clock_forbidden_even_in_measurement_shape():
+    # SLIM003 exempts perf_counter in bench/obs measurement shells;
+    # SLIM009 grants repro.net no such carve-out
+    src = "import time\nt = time.perf_counter()\n"
+    got = codes(lint_source(src, package="net"))
+    assert "SLIM009" in got
+    assert lint_source("t = env.now\n", package="net").ok
+
+
+def test_slim009_nested_import_still_flagged():
+    src = ("def connect():\n"
+           "    import socket\n"
+           "    return socket\n")
+    assert codes(lint_source(src, package="net")) == ["SLIM009"]
+
+
+def test_slim009_pragma_suppresses():
+    src = "import socket  # slimlint: ignore[SLIM009]\n"
+    result = lint_source(src, package="net")
+    assert result.ok and result.suppressed == 1
+
+
 # ------------------------------------------------------------------ pragmas
 def test_file_pragma_suppresses_everywhere():
     src = ("# slimlint: ignore-file[SLIM003]\n"

@@ -61,7 +61,7 @@ def test_experiment_registry_complete():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5",
         "figure2a", "figure2b", "figure4", "figure5", "cluster",
-        "tailtrace", "crashmatrix",
+        "tailtrace", "crashmatrix", "openloop",
     }
     for fn in EXPERIMENTS.values():
         assert callable(fn)

@@ -112,6 +112,74 @@ def test_validation():
         ClosedLoopWorkload(clients=0)
     with pytest.raises(ValueError):
         ClosedLoopWorkload(get_ratio=2.0)
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(target_rate=0.0)
+
+
+def test_unpaced_run_has_no_corrected_series():
+    system = build_slimio(config=CFG)
+    w = ClosedLoopWorkload(clients=4, total_ops=200, key_count=50,
+                           value_size=512)
+    rep = w.run(system)
+    system.stop()
+    assert rep.target_rate is None
+    assert rep.corrected_set_p999 != rep.corrected_set_p999  # NaN
+    assert rep.late_starts == 0
+
+
+def test_paced_run_below_capacity_matches_closed_loop():
+    system = build_slimio(config=CFG)
+    w = ClosedLoopWorkload(clients=4, total_ops=300, key_count=80,
+                           value_size=512, target_rate=2_000.0)
+    rep = w.run(system)
+    system.stop()
+    assert rep.target_rate == 2_000.0
+    # the schedule is easy: ops start on time and the corrected p999
+    # is the same order of magnitude as the server-measured one
+    assert rep.corrected_set_p999 == rep.corrected_set_p999  # not NaN
+    assert rep.corrected_set_p999 < 20 * rep.set_p999
+
+
+def test_coordinated_omission_bias_exposed_past_capacity():
+    """The regression this feature exists for: a closed loop lets the
+    server throttle its own load generator, so server-side percentiles
+    miss all queueing delay. Paced against an impossible schedule, the
+    corrected p999 must blow up while the server-measured p999 (per-op
+    service time only) stays flat."""
+    system = build_slimio(config=CFG)
+    w = ClosedLoopWorkload(clients=4, total_ops=400, key_count=100,
+                           value_size=512, target_rate=5e6)
+    rep = w.run(system)
+    system.stop()
+    assert rep.late_starts > 0
+    # the biased number cannot see the backlog; the corrected one must
+    assert rep.corrected_set_p999 > 10 * rep.set_p999
+    assert rep.corrected_set_mean > rep.set_mean
+
+
+def test_paced_run_is_deterministic():
+    def once():
+        system = build_slimio(config=CFG)
+        w = ClosedLoopWorkload(clients=4, total_ops=300, key_count=80,
+                               value_size=512, seed=42, target_rate=3_000.0)
+        rep = w.run(system)
+        system.stop()
+        return (rep.corrected_set_p999, rep.corrected_get_p999,
+                rep.corrected_set_mean, rep.late_starts)
+
+    assert once() == once()
+
+
+def test_paced_run_respects_warmup_reset():
+    system = build_slimio(config=CFG)
+    w = ClosedLoopWorkload(clients=4, total_ops=600, key_count=100,
+                           value_size=512, target_rate=5e6)
+    rep = w.run(system, warmup_ops=300)
+    system.stop()
+    # only the measured half contributes corrected samples; at 5M/s
+    # the whole run is late, so every measured op is a late start
+    assert 0 < rep.late_starts <= 310
+    assert rep.corrected_set_p999 == rep.corrected_set_p999  # not NaN
 
 
 def test_always_log_policy_through_runner():
