@@ -5,9 +5,14 @@ are invisible to the type system, so we check them twice —
 
 * **slimlint** (:mod:`repro.analysis.rules`,
   :mod:`repro.analysis.linter`, ``python -m repro.analysis``): an
-  AST-based linter with eight SLIM rules covering device-access
+  AST-based linter with per-module SLIM rules covering device-access
   discipline, PID hygiene, determinism, layering, metric naming, FTL
   encapsulation, FDP write tagging, and LBA state-machine ownership.
+* **slimflow** (:mod:`repro.analysis.flow`,
+  ``python -m repro.analysis flow``): the whole-program companion —
+  call graph + per-function CFGs checking yield-interleaving races
+  (SLIM010), RNG seed provenance (SLIM011), and the imdb/net
+  durability ack protocol (SLIM012), with baseline drift detection.
 * **runtime sanitizers** (:mod:`repro.analysis.sanitize`,
   :mod:`repro.analysis.forkcheck`): opt-in wrappers (engine flag
   ``sanitize=True``, bench ``--sanitize``) that validate every write
@@ -15,6 +20,13 @@ are invisible to the type system, so we check them twice —
   a fork-snapshot race detector.
 """
 
+from repro.analysis.flow import (
+    FLOW_CODES,
+    FLOW_RULES,
+    FlowFinding,
+    analyze_paths,
+    analyze_sources,
+)
 from repro.analysis.linter import LintResult, lint_file, lint_paths, lint_source
 from repro.analysis.rules import LAYER_RANKS, RULES, Finding
 from repro.analysis.sanitize import (
@@ -24,13 +36,18 @@ from repro.analysis.sanitize import (
 from repro.analysis.forkcheck import ForkRaceDetector
 
 __all__ = [
+    "FLOW_CODES",
+    "FLOW_RULES",
     "Finding",
+    "FlowFinding",
     "ForkRaceDetector",
     "LAYER_RANKS",
     "LintResult",
     "RULES",
     "SanitizerError",
     "SlimIOSanitizer",
+    "analyze_paths",
+    "analyze_sources",
     "lint_file",
     "lint_paths",
     "lint_source",

@@ -1,12 +1,15 @@
-"""slimlint CLI.
+"""slimlint / slimflow CLI.
 
 Usage::
 
     python -m repro.analysis [paths ...]
     python -m repro.analysis src --format sarif --output slimlint.sarif
     python -m repro.analysis --list-rules
+    python -m repro.analysis flow [paths ...]      # whole-program rules
 
 Exit status: 0 clean, 1 findings (or unreadable files), 2 usage error.
+``flow`` dispatches to :mod:`repro.analysis.flow.cli`, the
+interprocedural analyzer with baseline drift detection.
 """
 
 from __future__ import annotations
@@ -21,6 +24,11 @@ from repro.analysis.rules import RULES
 
 
 def main(argv=None) -> int:
+    args_in = list(sys.argv[1:] if argv is None else argv)
+    if args_in and args_in[0] == "flow":
+        from repro.analysis.flow.cli import flow_main
+        return flow_main(args_in[1:])
+    argv = args_in
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="slimlint: domain-aware static analysis for the "

@@ -1,0 +1,107 @@
+"""Baseline drift detection: CI fails only on *new* findings.
+
+A whole-program analysis lands on a tree with history; the deal that
+makes it adoptable is that the initial triaged findings are frozen in
+a committed baseline, and only *drift* — a finding not in the baseline
+— fails the build. Fingerprints deliberately exclude line numbers
+(code|file|scope|detail, plus an occurrence index for same-identity
+duplicates), so editing an unrelated part of a file does not churn the
+baseline; moving the offending code to another file or function does,
+which is the point — it *is* a new place to re-judge the finding.
+
+Findings in the baseline that no longer occur are reported as
+``absolved`` so the file can be re-written (``--write-baseline``) and
+shrink toward empty, never silently rot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.rules import Finding
+
+__all__ = ["BaselineDiff", "fingerprints", "diff_against",
+           "load_baseline", "write_baseline", "DEFAULT_BASELINE"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "slimflow_baseline.json"
+
+
+def _identity(f: Finding) -> str:
+    scope = getattr(f, "scope", "")
+    detail = getattr(f, "detail", "") or f.message
+    return f"{f.code}|{f.file}|{scope}|{detail}"
+
+
+def fingerprints(findings: list[Finding]) -> list[str]:
+    """One stable fingerprint per finding (order-aligned)."""
+    counts: dict[str, int] = {}
+    out: list[str] = []
+    for f in findings:
+        ident = _identity(f)
+        n = counts.get(ident, 0)
+        counts[ident] = n + 1
+        h = hashlib.sha256(f"{ident}#{n}".encode()).hexdigest()[:16]
+        out.append(h)
+    return out
+
+
+@dataclass
+class BaselineDiff:
+    new: list[Finding] = field(default_factory=list)
+    unchanged: list[Finding] = field(default_factory=list)
+    #: baseline entries whose finding no longer occurs
+    absolved: list[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints recorded in a baseline file (raises on malformed)."""
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(f"{path}: not a slimflow baseline file")
+    return {e["fingerprint"] for e in doc["findings"]}
+
+
+def diff_against(findings: list[Finding], path: Path) -> BaselineDiff:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    entries = {e["fingerprint"]: e for e in doc.get("findings", [])}
+    diff = BaselineDiff()
+    seen: set[str] = set()
+    for f, fp in zip(findings, fingerprints(findings)):
+        if fp in entries:
+            diff.unchanged.append(f)
+            seen.add(fp)
+        else:
+            diff.new.append(f)
+    diff.absolved = [e for fp, e in sorted(entries.items())
+                     if fp not in seen]
+    return diff
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    entries = [
+        {
+            "fingerprint": fp,
+            "code": f.code,
+            "file": f.file,
+            "scope": getattr(f, "scope", ""),
+            "detail": getattr(f, "detail", ""),
+            # informative only — never part of the fingerprint
+            "line": f.line,
+            "message": f.message,
+        }
+        for f, fp in zip(findings, fingerprints(findings))
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "slimflow",
+        "findings": sorted(entries, key=lambda e: e["fingerprint"]),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

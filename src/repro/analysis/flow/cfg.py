@@ -1,0 +1,575 @@
+"""Per-function control-flow graphs for the slimflow rules.
+
+A function body becomes a graph of :class:`Block`\\ s, each holding an
+ordered list of :class:`Ev` events — the only program points the rules
+care about:
+
+* ``read`` / ``write`` — loads/stores of first-level ``self``
+  attributes (``self.x``, ``self.x[i] = …``, ``self.x.append(…)``);
+  mutating method calls on an attribute count as read+write, because a
+  ``list.append`` interleaved with a rival's ``clear`` is every bit as
+  racy as an assignment.
+* ``yield`` — a simulator preemption point. A bare ``yield`` (waiting
+  on an event) always preempts; a ``yield from f(...)`` preempts only
+  if ``f`` (transitively) blocks, which the call graph decides later,
+  so the event records its candidate callee names.
+* ``call`` — every call site, with its receiver kind and whether a
+  lock is lexically held, feeding the call graph.
+
+Lock regions are *lexical*: a ``with <lock>:`` body, or the ``try:``
+body of the repo's acquire idiom ::
+
+    req = self._sink_lock.request()
+    yield req
+    try:
+        ...                      # <- the lock region
+    finally:
+        self._sink_lock.release(req)
+
+(the ``finally`` naming a ``<lockish>.release`` is the signature).
+Every event carries the frozen set of region ids active at its program
+point; two events are *co-locked* when the sets intersect. Lock
+identity is name-based (:func:`~repro.analysis.flow.rules.is_lockish`),
+like most lock-discipline linters.
+
+The two graph algorithms the rules need also live here:
+:func:`find_race_candidates` (the read-…-yield-…-write path search,
+with the loop-back re-read refinement that keeps re-check idioms like
+``while self._outstanding >= w: yield ev`` quiet) and
+:func:`dominating_calls` (which call sites lie on *every* path from
+entry to an ack, for the durability protocol).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.rules import is_lockish
+
+__all__ = [
+    "Ev",
+    "Block",
+    "Cfg",
+    "build_cfg",
+    "find_race_candidates",
+    "dominating_calls",
+    "RaceCandidate",
+]
+
+#: method names whose call on ``self.x`` mutates the attribute's object
+_MUTATORS = {
+    "append", "extend", "clear", "pop", "popleft", "appendleft", "add",
+    "remove", "discard", "insert", "update", "setdefault", "sort",
+}
+
+
+@dataclass(frozen=True)
+class Ev:
+    """One rule-relevant program point."""
+
+    kind: str  # "read" | "write" | "yield" | "call"
+    line: int
+    col: int
+    attr: str = ""  # read/write: the self attribute
+    name: str = ""  # call: terminal callee name
+    recv: str = ""  # call: receiver ("", "self", or terminal name)
+    callees: tuple[str, ...] = ()  # yield: yield-from callee names
+    bare: bool = False  # yield: a plain ``yield`` (always preempts)
+    locks: frozenset[int] = frozenset()
+
+
+@dataclass
+class Block:
+    idx: int
+    events: list[Ev] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Cfg:
+    blocks: list[Block]
+    entry: int
+
+
+def _terminal(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _terminal(node.func)
+    return ""
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.x`` -> ``x`` (first level only)."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+class _Builder:
+    """Lower one function body to blocks of events."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.cur = self._new()
+        self.entry = self.cur.idx
+        self._locks: list[int] = []  # active lexical lock region ids
+        self._next_region = 0
+        self._loop: list[tuple[int, int]] = []  # (continue_to, break_join)
+        self._breaks: list[list[int]] = []
+
+    # ------------------------------------------------------------ plumbing
+    def _new(self) -> Block:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+            self.blocks[b].preds.append(a)
+
+    def _start(self, *preds: int) -> Block:
+        b = self._new()
+        for p in preds:
+            self._edge(p, b.idx)
+        return b
+
+    def _emit(self, kind: str, node: ast.AST, **kw) -> None:
+        self.cur.events.append(Ev(
+            kind,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            locks=frozenset(self._locks),
+            **kw,
+        ))
+
+    # ------------------------------------------------------------ expressions
+    def expr(self, node: ast.expr | None) -> None:
+        """Emit events for one expression, roughly in evaluation order."""
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self.expr(node.func if not isinstance(node.func, ast.Attribute)
+                      else node.func.value)
+            for a in node.args:
+                self.expr(a.value if isinstance(a, ast.Starred) else a)
+            for kw in node.keywords:
+                self.expr(kw.value)
+            name = _terminal(node.func)
+            recv = ""
+            if isinstance(node.func, ast.Attribute):
+                recv = _terminal(node.func.value) or ""
+                # self.x.append(...): the call mutates self.x
+                attr = _self_attr(node.func.value)
+                if attr is not None and node.func.attr in _MUTATORS:
+                    self._emit("read", node, attr=attr)
+                    self._emit("write", node, attr=attr)
+            if name:
+                self._emit("call", node, name=name, recv=recv)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                self._emit("read", node, attr=attr)
+            else:
+                self.expr(node.value)
+            return
+        if isinstance(node, ast.Yield):
+            self.expr(node.value)
+            self._emit("yield", node, bare=True)
+            return
+        if isinstance(node, ast.YieldFrom):
+            callee = ""
+            if isinstance(node.value, ast.Call):
+                callee = _terminal(node.value.func)
+            self.expr(node.value)
+            if callee:
+                self._emit("yield", node, callees=(callee,))
+            else:
+                self._emit("yield", node, bare=True)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested scopes are their own functions
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+            elif isinstance(child, ast.comprehension):
+                self.expr(child.iter)
+                for cond in child.ifs:
+                    self.expr(cond)
+
+    def _target(self, node: ast.expr) -> None:
+        """Emit write events for one assignment target."""
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for el in node.elts:
+                self._target(el)
+            return
+        attr = _self_attr(node)
+        if attr is not None:
+            self._emit("write", node, attr=attr)
+            return
+        if isinstance(node, ast.Subscript):
+            attr = _self_attr(node.value)
+            self.expr(node.slice)
+            if attr is not None:  # self.x[i] = v mutates self.x
+                self._emit("read", node, attr=attr)
+                self._emit("write", node, attr=attr)
+            else:
+                self.expr(node.value)
+            return
+        if isinstance(node, ast.Attribute):
+            self.expr(node.value)  # a.b.c = v reads a.b
+        # plain Name targets are locals — no event
+
+    # ------------------------------------------------------------ statements
+    def body(self, stmts: list[ast.stmt]) -> None:
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, node: ast.stmt) -> None:  # noqa: PLR0912 - a lowering switch
+        if isinstance(node, ast.Expr):
+            self.expr(node.value)
+        elif isinstance(node, ast.Assign):
+            self.expr(node.value)
+            for t in node.targets:
+                self._target(t)
+        elif isinstance(node, ast.AugAssign):
+            self.expr(node.value)
+            attr = _self_attr(node.target)
+            if attr is not None:
+                self._emit("read", node, attr=attr)
+                self._emit("write", node, attr=attr)
+            else:
+                self._target(node.target)
+        elif isinstance(node, ast.AnnAssign):
+            self.expr(node.value)
+            if node.value is not None:
+                self._target(node.target)
+        elif isinstance(node, ast.Return):
+            self.expr(node.value)
+            if node.value is not None:
+                self._emit("return", node)  # SLIM012 ack anchor
+            self.cur = self._new()  # fresh, unreachable until linked
+        elif isinstance(node, ast.Raise):
+            self.expr(node.exc)
+            self.cur = self._new()
+        elif isinstance(node, ast.If):
+            self.expr(node.test)
+            cond = self.cur.idx
+            then = self._start(cond)
+            self.cur = then
+            self.body(node.body)
+            then_end = self.cur.idx
+            if node.orelse:
+                els = self._start(cond)
+                self.cur = els
+                self.body(node.orelse)
+                join = self._start(then_end, self.cur.idx)
+            else:
+                join = self._start(then_end, cond)
+            self.cur = join
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop_stmt(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with_stmt(node)
+        elif isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self._try_stmt(node)
+        elif isinstance(node, ast.Break):
+            if self._breaks:
+                self._breaks[-1].append(self.cur.idx)
+            self.cur = self._new()
+        elif isinstance(node, ast.Continue):
+            if self._loop:
+                self._edge(self.cur.idx, self._loop[-1][0])
+            self.cur = self._new()
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes analyzed separately
+        elif isinstance(node, (ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.expr(child)
+        elif isinstance(node, ast.Match):
+            self._match_stmt(node)
+        # Import/Global/Pass/... : no events
+
+    def _loop_stmt(self, node: ast.While | ast.For | ast.AsyncFor) -> None:
+        test = self._start(self.cur.idx)
+        self.cur = test
+        if isinstance(node, ast.While):
+            self.expr(node.test)
+        else:
+            self.expr(node.iter)
+            self._target(node.target)
+        test_idx = self.cur.idx  # test may have grown blocks (it cannot,
+        # expressions never split blocks — kept for clarity)
+        body = self._start(test_idx)
+        self._loop.append((test.idx, -1))
+        self._breaks.append([])
+        self.cur = body
+        self.body(node.body)
+        self._edge(self.cur.idx, test.idx)  # back edge re-evaluates test
+        self._loop.pop()
+        breaks = self._breaks.pop()
+        exit_blk = self._start(test_idx, *breaks)
+        if node.orelse:
+            self.cur = exit_blk
+            self.body(node.orelse)
+            exit_blk = self.cur
+        self.cur = exit_blk
+
+    def _with_stmt(self, node: ast.With | ast.AsyncWith) -> None:
+        region = None
+        for item in node.items:
+            self.expr(item.context_expr)
+            ctx = item.context_expr
+            name = _terminal(ctx.func if isinstance(ctx, ast.Call) else ctx)
+            if is_lockish(name):
+                region = self._next_region
+                self._next_region += 1
+        if region is not None:
+            self._locks.append(region)
+        self.body(node.body)
+        if region is not None:
+            self._locks.remove(region)
+
+    def _releases_lock(self, stmts: list[ast.stmt]) -> bool:
+        for s in stmts:
+            for n in ast.walk(s):
+                if isinstance(n, ast.Call) \
+                        and isinstance(n.func, ast.Attribute) \
+                        and n.func.attr == "release" \
+                        and is_lockish(_terminal(n.func.value)):
+                    return True
+        return False
+
+    def _try_stmt(self, node: ast.Try) -> None:
+        region = None
+        if node.finalbody and self._releases_lock(node.finalbody):
+            region = self._next_region
+            self._next_region += 1
+            self._locks.append(region)
+        body = self._start(self.cur.idx)
+        self.cur = body
+        first_body = body.idx
+        self.body(node.body)
+        self.body(node.orelse)
+        body_end = self.cur.idx
+        body_blocks = range(first_body, len(self.blocks))
+        handler_ends = []
+        for handler in node.handlers:
+            h = self._new()
+            # any point in the try body may raise into the handler
+            for bi in body_blocks:
+                self._edge(bi, h.idx)
+            self.cur = h
+            self.body(handler.body)
+            handler_ends.append(self.cur.idx)
+        if region is not None:
+            self._locks.remove(region)
+        final = self._start(body_end, *handler_ends)
+        self.cur = final
+        self.body(node.finalbody)
+
+    def _match_stmt(self, node: ast.Match) -> None:
+        self.expr(node.subject)
+        subj = self.cur.idx
+        ends = []
+        for case in node.cases:
+            arm = self._start(subj)
+            self.cur = arm
+            if case.guard is not None:
+                self.expr(case.guard)
+            self.body(case.body)
+            ends.append(self.cur.idx)
+        self.cur = self._start(subj, *ends)
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Cfg:
+    """Lower one function to its event CFG (unreachable blocks pruned)."""
+    b = _Builder()
+    b.body(fn.body)
+    # prune events in blocks unreachable from entry (e.g. the
+    # ``return; yield`` generator-parity idiom)
+    seen = {b.entry}
+    stack = [b.entry]
+    while stack:
+        for s in b.blocks[stack.pop()].succs:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    for blk in b.blocks:
+        if blk.idx not in seen:
+            blk.events = []
+            blk.succs = []
+    return Cfg(blocks=b.blocks, entry=b.entry)
+
+
+# --------------------------------------------------------------------------
+# SLIM010: the read-…-yield-…-write path search
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One potential yield-interleaving race, pending global filters."""
+
+    attr: str
+    read_line: int
+    yield_line: int
+    write_line: int
+    write_col: int
+    #: yield-from callee names that must block for the yield to preempt
+    #: (empty tuple = a bare yield, always a preemption point)
+    yield_callees: tuple[str, ...]
+
+
+def _scan_back(events: list[Ev], start: int, attr: str):
+    """Scan one block's events in reverse from ``start`` (exclusive)."""
+    for i in range(start - 1, -1, -1):
+        yield events[i]
+
+
+def find_race_candidates(cfg: Cfg) -> list[RaceCandidate]:
+    """All (read, yield, write) triples on an attribute where no lexical
+    lock region covers both endpoints and no re-read of the attribute
+    intervenes between the yield and the write.
+
+    Phase 1 walks backward from each write, collecting yields reachable
+    without crossing a read of the same attribute (a read in between
+    means the writer re-checked after waking — the sanctioned idiom).
+    Phase 2 walks further backward from each such yield, looking for a
+    read whose lock set does not intersect the write's.
+    """
+    out: list[RaceCandidate] = []
+    blocks = cfg.blocks
+    for blk in blocks:
+        for wi, w in enumerate(blk.events):
+            if w.kind != "write":
+                continue
+            attr = w.attr
+            # ---- phase 1: yields backward-reachable without a re-read
+            yields: list[Ev] = []
+            visited: set[int] = set()
+            # (block idx, scan-from index); None index = from the end
+            work: list[tuple[int, int]] = [(blk.idx, wi)]
+            while work:
+                bi, idx = work.pop()
+                evs = blocks[bi].events
+                blocked = False
+                for ev in _scan_back(evs, idx, attr):
+                    if ev.kind == "read" and ev.attr == attr:
+                        blocked = True
+                        break
+                    if ev.kind == "yield":
+                        yields.append(ev)
+                        # keep scanning: an earlier yield in the same
+                        # block is also a candidate preemption point
+                if not blocked:
+                    for p in blocks[bi].preds:
+                        if p not in visited:
+                            visited.add(p)
+                            work.append((p, len(blocks[p].events)))
+            if not yields:
+                continue
+            # prefer a bare yield (unconditional preemption)
+            yields.sort(key=lambda e: (not e.bare, e.line))
+            # ---- phase 2: a read backward-reachable from some yield,
+            # not co-locked with the write
+            for y in yields:
+                read = _find_read_before(blocks, y, attr, w.locks)
+                if read is not None:
+                    out.append(RaceCandidate(
+                        attr=attr,
+                        read_line=read.line,
+                        yield_line=y.line,
+                        write_line=w.line,
+                        write_col=w.col,
+                        yield_callees=() if y.bare else y.callees,
+                    ))
+                    break
+    # one candidate per (attr, write site)
+    seen: set[tuple[str, int, int]] = set()
+    uniq = []
+    for c in out:
+        key = (c.attr, c.write_line, c.write_col)
+        if key not in seen:
+            seen.add(key)
+            uniq.append(c)
+    return uniq
+
+
+def _find_read_before(blocks: list[Block], y: Ev, attr: str,
+                      write_locks: frozenset[int]) -> Ev | None:
+    # locate the yield event's position(s) — an Ev may appear in one
+    # block only, find it by identity
+    for blk in blocks:
+        for i, ev in enumerate(blk.events):
+            if ev is y:
+                return _read_bfs(blocks, blk.idx, i, attr, write_locks)
+    return None
+
+
+def _read_bfs(blocks: list[Block], bi: int, idx: int, attr: str,
+              write_locks: frozenset[int]) -> Ev | None:
+    visited: set[int] = set()
+    work: list[tuple[int, int]] = [(bi, idx)]
+    while work:
+        b, i = work.pop()
+        for ev in _scan_back(blocks[b].events, i, attr):
+            if ev.kind == "read" and ev.attr == attr:
+                if not (ev.locks & write_locks):
+                    return ev
+                # co-locked read: safe pair, but keep looking past it —
+                # an earlier unlocked read still races
+        for p in blocks[b].preds:
+            if p not in visited:
+                visited.add(p)
+                work.append((p, len(blocks[p].events)))
+    return None
+
+
+# --------------------------------------------------------------------------
+# SLIM012: dominating calls
+# --------------------------------------------------------------------------
+
+def dominating_calls(cfg: Cfg, target: Ev) -> list[Ev]:
+    """Every ``call`` event that lies on *all* paths from entry to the
+    target event (standard iterative dominator sets; the graphs are a
+    few dozen blocks)."""
+    blocks = cfg.blocks
+    tblk = tidx = None
+    for blk in blocks:
+        for i, ev in enumerate(blk.events):
+            if ev is target:
+                tblk, tidx = blk.idx, i
+                break
+        if tblk is not None:
+            break
+    if tblk is None:
+        return []
+    n = len(blocks)
+    full = set(range(n))
+    dom: list[set[int]] = [full.copy() for _ in range(n)]
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for blk in blocks:
+            if blk.idx == cfg.entry or not blk.preds:
+                continue
+            new = set.intersection(*(dom[p] for p in blk.preds)) | {blk.idx}
+            if new != dom[blk.idx]:
+                dom[blk.idx] = new
+                changed = True
+    out = [ev for ev in blocks[tblk].events[:tidx] if ev.kind == "call"]
+    for d in dom[tblk]:
+        if d != tblk:
+            out.extend(ev for ev in blocks[d].events if ev.kind == "call")
+    return out

@@ -1,0 +1,157 @@
+"""slimflow CLI.
+
+Usage::
+
+    python -m repro.analysis flow [paths ...]
+    python -m repro.analysis flow src/repro --format sarif --output f.sarif
+    python -m repro.analysis flow --write-baseline
+    python -m repro.analysis flow --list-rules
+
+Exit status mirrors slimlint — 0 clean, 1 findings, 2 usage error —
+with one twist: when a baseline is in play (``--baseline FILE``, or
+the committed ``slimflow_baseline.json`` auto-discovered in the
+working directory), only findings *not in the baseline* fail the run.
+The parsed-fact cache (``--cache DIR``, default ``.slimflow-cache``)
+is keyed on file content digests, so warm runs skip every unchanged
+file's parse; ``--cache off`` disables it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.flow.baseline import (
+    DEFAULT_BASELINE,
+    diff_against,
+    write_baseline,
+)
+from repro.analysis.flow.driver import analyze_paths, validate_select
+from repro.analysis.flow.rules import FLOW_CODES, FLOW_RULES
+from repro.analysis.output import FORMATS
+
+
+def flow_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis flow",
+        description="slimflow: whole-program dataflow analysis for the "
+                    "SlimIO tree (yield races, seed provenance, "
+                    "durability protocol).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=sorted(FORMATS),
+                        default="text", help="output format")
+    parser.add_argument("--output", default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all of SLIM010-012)")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file for drift detection (default: "
+                             f"{DEFAULT_BASELINE} if it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any committed baseline: every "
+                             "finding fails the run")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="(re)write the baseline from this run's "
+                             "findings and exit 0")
+    parser.add_argument("--cache", default=".slimflow-cache",
+                        help="fact-cache directory, or 'off' (default: "
+                             ".slimflow-cache)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in FLOW_RULES:
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    select = set(FLOW_CODES)
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",")
+                  if c.strip()}
+    if args.ignore:
+        select -= {c.strip().upper() for c in args.ignore.split(",")
+                   if c.strip()}
+    unknown = validate_select(select)
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    paths = args.paths
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            print("nothing to analyze (no paths given and no src/repro "
+                  "here)", file=sys.stderr)
+            return 2
+        paths = [str(default)]
+
+    cache_dir = None if args.cache == "off" else Path(args.cache)
+    result = analyze_paths(paths, cache_dir=cache_dir, select=select)
+
+    baseline: Path | None = None
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline:
+            baseline = Path(args.baseline)
+            if not baseline.is_file():
+                print(f"baseline not found: {baseline}", file=sys.stderr)
+                return 2
+        elif Path(DEFAULT_BASELINE).is_file():
+            baseline = Path(DEFAULT_BASELINE)
+
+    renderer = FORMATS[args.format]
+    kwargs = {"tool": "slimflow"}
+    if args.format == "sarif":
+        kwargs["rules"] = FLOW_RULES
+    report = renderer(result, **kwargs)
+
+    footer: list[str] = []
+    ok = result.ok
+    if baseline is not None:
+        try:
+            diff = diff_against(result.findings, baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"unreadable baseline {baseline}: {exc}", file=sys.stderr)
+            return 2
+        ok = diff.clean and not result.errors
+        footer.append(
+            f"baseline {baseline}: {len(diff.new)} new, "
+            f"{len(diff.unchanged)} baselined, "
+            f"{len(diff.absolved)} absolved")
+        for f in diff.new:
+            footer.append(f"  NEW {f.render().splitlines()[0]}")
+        if diff.absolved:
+            footer.append("  (absolved entries linger in the baseline — "
+                          "refresh it with --write-baseline)")
+
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n", encoding="utf-8")
+        print(f"(report written to {out})", file=sys.stderr)
+    else:
+        print(report)
+    for line in footer:
+        print(line)
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline \
+            else Path(DEFAULT_BASELINE)
+        write_baseline(result.findings, target)
+        print(f"baseline written: {target} "
+              f"({len(result.findings)} findings)", file=sys.stderr)
+        return 0 if not result.errors else 1
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module is run via __main__
+    sys.exit(flow_main())

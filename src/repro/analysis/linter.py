@@ -23,12 +23,19 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.flow.rules import FLOW_CODES
 from repro.analysis.rules import RULES, Finding, ModuleContext, run_rules
 
 __all__ = ["LintResult", "lint_paths", "lint_source", "lint_file"]
 
-_PRAGMA = re.compile(r"#\s*slimlint:\s*(ignore(?:-file)?)\[([A-Z0-9,\s]+)\]")
+_PRAGMA = re.compile(r"#\s*slimlint:\s*(ignore(?:-file)?)\[([A-Za-z0-9,\s]+)\]")
+#: any line that *tries* to write a pragma — used to diagnose typos
+#: that the strict pattern would otherwise silently skip
+_PRAGMA_ATTEMPT = re.compile(r"#\s*slimlint:\s*ignore")
 _ALL_CODES = {rule.code for rule in RULES}
+#: pragma-known codes: slimlint's own rules plus slimflow's, since the
+#: whole-program findings honour the same suppression syntax
+_KNOWN_CODES = _ALL_CODES | FLOW_CODES
 
 
 @dataclass
@@ -71,18 +78,46 @@ def _infer_context(path: Path, display: str) -> ModuleContext:
                          is_test=is_test, is_src=is_src)
 
 
-def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Per-line and file-level suppressed rule codes."""
+def _parse_pragmas(
+    source: str, path: str = "<string>",
+) -> tuple[dict[int, set[str]], set[str], list[str]]:
+    """Per-line and file-level suppressed rule codes, plus diagnostics.
+
+    A pragma that would silently suppress *nothing* is worse than no
+    pragma — the author believes an invariant is waived when it is not
+    — so a line that attempts an ignore pragma but does not parse, or
+    that names a rule id no rule owns, is reported as an error instead
+    of being skipped.
+    """
     line_sup: dict[int, set[str]] = {}
     file_sup: set[str] = set()
+    problems: list[str] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
-        for kind, codes_str in _PRAGMA.findall(line):
+        matches = _PRAGMA.findall(line)
+        if not matches:
+            if _PRAGMA_ATTEMPT.search(line):
+                problems.append(
+                    f"{path}:{lineno}: malformed slimlint pragma (expected "
+                    f"ignore[SLIM0xx] or ignore-file[SLIM0xx] after the "
+                    f"marker)")
+            continue
+        for kind, codes_str in matches:
             codes = {c.strip() for c in codes_str.split(",") if c.strip()}
+            if not codes:
+                problems.append(f"{path}:{lineno}: slimlint pragma names "
+                                f"no rule codes")
+                continue
+            unknown = codes - _KNOWN_CODES
+            if unknown:
+                problems.append(
+                    f"{path}:{lineno}: unknown rule id(s) in slimlint "
+                    f"pragma: {', '.join(sorted(unknown))}")
+            codes -= unknown
             if kind == "ignore-file":
                 file_sup |= codes
             else:
                 line_sup.setdefault(lineno, set()).update(codes)
-    return line_sup, file_sup
+    return line_sup, file_sup, problems
 
 
 def _suppressed_lines(node_lines: tuple[int, int],
@@ -110,7 +145,8 @@ def lint_source(source: str, path: str = "<string>",
         return res
     ctx = ModuleContext(path=path, package=package,
                         is_test=is_test, is_src=is_src)
-    line_sup, file_sup = _parse_pragmas(source)
+    line_sup, file_sup, problems = _parse_pragmas(source, path=path)
+    res.errors.extend(problems)
     _collect(tree, ctx, source, line_sup, file_sup, select, res)
     return res
 
@@ -171,7 +207,8 @@ def lint_file(path: Path, root: Path | None = None,
         res.errors.append(f"{display}:{exc.lineno or 0}: syntax error: "
                           f"{exc.msg}")
         return res
-    line_sup, file_sup = _parse_pragmas(source)
+    line_sup, file_sup, problems = _parse_pragmas(source, path=display)
+    res.errors.extend(problems)
     _collect(tree, ctx, source, line_sup, file_sup, select, res)
     return res
 

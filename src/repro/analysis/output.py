@@ -1,9 +1,12 @@
-"""Render slimlint results as text, JSON, or SARIF 2.1.0.
+"""Render slimlint/slimflow results as text, JSON, or SARIF 2.1.0.
 
 SARIF output follows the minimal schema GitHub code scanning ingests:
 one run, one rule descriptor per SLIM rule, one result per finding
 with a physical location.  The JSON format is a flat machine-readable
-dump for ad-hoc tooling.
+dump for ad-hoc tooling.  Both linters share these renderers: the
+``tool`` and ``rules`` parameters decide whose banner and rule
+catalogue appear, and flow findings that carry a race *trace* export
+it as SARIF ``relatedLocations`` (one per read/yield/write step).
 """
 
 from __future__ import annotations
@@ -20,19 +23,19 @@ _SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
                  "master/Schemata/sarif-schema-2.1.0.json")
 
 
-def render_text(result: LintResult) -> str:
+def render_text(result: LintResult, *, tool: str = "slimlint") -> str:
     lines = [f.render() for f in result.findings]
     lines.extend(result.errors)
     n = len(result.findings)
     noun = "finding" if n == 1 else "findings"
-    lines.append(f"slimlint: {n} {noun} in {result.files_checked} files "
+    lines.append(f"{tool}: {n} {noun} in {result.files_checked} files "
                  f"({result.suppressed} suppressed)")
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
+def render_json(result: LintResult, *, tool: str = "slimlint") -> str:
     payload = {
-        "tool": "slimlint",
+        "tool": tool,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
         "errors": list(result.errors),
@@ -43,6 +46,9 @@ def render_json(result: LintResult) -> str:
                 "file": f.file,
                 "line": f.line,
                 "col": f.col + 1,
+                **({"trace": [{"label": label, "line": line}
+                              for label, line in f.trace]}
+                   if getattr(f, "trace", ()) else {}),
             }
             for f in result.findings
         ],
@@ -50,37 +56,44 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2)
 
 
-def render_sarif(result: LintResult) -> str:
-    rules = [
+def _location(uri: str, line: int, col: int, message: str | None = None) -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri.replace("\\", "/")},
+            "region": {"startLine": line, "startColumn": col + 1},
+        }
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def render_sarif(result: LintResult, *, tool: str = "slimlint",
+                 rules=RULES) -> str:
+    descriptors = [
         {
             "id": rule.code,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
             "defaultConfiguration": {"level": "error"},
         }
-        for rule in RULES
+        for rule in rules
     ]
-    results = [
-        {
+    results = []
+    for f in result.findings:
+        entry = {
             "ruleId": f.code,
             "level": "error",
             "message": {"text": f.message},
-            "locations": [
-                {
-                    "physicalLocation": {
-                        "artifactLocation": {
-                            "uri": f.file.replace("\\", "/"),
-                        },
-                        "region": {
-                            "startLine": f.line,
-                            "startColumn": f.col + 1,
-                        },
-                    }
-                }
-            ],
+            "locations": [_location(f.file, f.line, f.col)],
         }
-        for f in result.findings
-    ]
+        trace = getattr(f, "trace", ())
+        if trace:
+            entry["relatedLocations"] = [
+                _location(f.file, line, 0, message=label)
+                for label, line in trace
+            ]
+        results.append(entry)
     doc = {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,
@@ -88,10 +101,10 @@ def render_sarif(result: LintResult) -> str:
             {
                 "tool": {
                     "driver": {
-                        "name": "slimlint",
+                        "name": tool,
                         "informationUri":
-                            "https://example.invalid/slimio/slimlint",
-                        "rules": rules,
+                            f"https://example.invalid/slimio/{tool}",
+                        "rules": descriptors,
                     }
                 },
                 "results": results,

@@ -5,8 +5,8 @@ Each rule is an AST pass over one module, parameterized by the module's
 (``tests/<pkg>/...`` maps onto ``<pkg>``, so a package's own tests may
 exercise its internals without ceremony). Rules yield
 :class:`Finding`\\ s with precise ``file:line:col`` anchors; the driver
-(:mod:`repro.analysis.linter`) applies ``# slimlint: ignore[RULE]``
-suppressions afterwards.
+(:mod:`repro.analysis.linter`) applies ``# slimlint: ignore[SLIM001]``
+-style suppressions afterwards.
 
 The rules (see docs/ANALYSIS.md for the full rationale):
 

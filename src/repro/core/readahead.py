@@ -73,11 +73,15 @@ class ReadAheadBuffer:
         ):
             start = self._next_prefetch
             n = min(self.batch_pages, self.npages - start)
+            # advance the cursor BEFORE the submit yields: two readers
+            # driving the same buffer interleave here, and reserving the
+            # range first keeps a rival _prefetch from re-submitting it
+            # (slimflow SLIM010 caught the read-yield-write form)
+            self._next_prefetch = start + n
             ev = yield from self.ring.submit(
                 ReadCmd(lba=self.base_lba + start, nlb=n), account
             )
             self._inflight[start] = ev
-            self._next_prefetch = start + n
 
     def _inflight_pages(self) -> int:
         return sum(

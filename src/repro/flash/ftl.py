@@ -557,12 +557,14 @@ class FlashTranslationLayer:
                     # host I/O instead of forming a blackout train
                     yield self.env.timeout(self.config.bg_reclaim_pause)
                     continue
-                self._gc_kick = self.env.event()
-                self._bg_wake = self.env.event()
+                # single-writer kick handoff: only this loop assigns
+                # the wake events; writers only succeed the parked ones
+                self._gc_kick = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
+                self._bg_wake = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
                 self._maybe_kick_gc()
                 yield self.env.any_of([self._gc_kick, self._bg_wake])
-                self._gc_kick = None
-                self._bg_wake = None
+                self._gc_kick = None  # slimlint: ignore[SLIM010] single-writer handoff
+                self._bg_wake = None  # slimlint: ignore[SLIM010] single-writer handoff
             # reclaim until the stop watermark
             while len(self._free) < self.config.gc_stop_segments:
                 victim = self._pick_victim()
@@ -575,9 +577,9 @@ class FlashTranslationLayer:
                     # writer is blocked on allocation too, the event
                     # heap drains and the run fails loudly — a genuinely
                     # wedged configuration, not silent GC churn.
-                    self._invalidation = self.env.event()
+                    self._invalidation = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
                     yield self._invalidation
-                    self._invalidation = None
+                    self._invalidation = None  # slimlint: ignore[SLIM010] single-writer handoff
                     continue
                 yield from self._reclaim(victim)
             self.stats.gc_runs += 1

@@ -432,10 +432,12 @@ class PageCache:
         while True:
             if not self._dirty:
                 # fully event-driven when idle, so a drained simulation
-                # terminates instead of ticking a writeback timer forever
-                self._wb_kick = self.env.event()
+                # terminates instead of ticking a writeback timer forever.
+                # single-writer kick handoff: only this loop assigns
+                # _wb_kick, rivals only succeed the parked event
+                self._wb_kick = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
                 yield self._wb_kick
-                self._wb_kick = None
+                self._wb_kick = None  # slimlint: ignore[SLIM010] single-writer handoff
             if self.dirty_bytes <= self.background_limit:
                 # below background threshold: flush lazily on the timer
                 yield self.env.timeout(self.writeback_interval)

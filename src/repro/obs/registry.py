@@ -16,6 +16,8 @@ the instrumentation contract is *zero work without a registry*.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.obs.spans import Span, SpanRecord
@@ -117,9 +119,11 @@ class ObsHistogram:
         self.max = float("-inf")
         self._reservoir: list[float] = []
         self._cap = reservoir
-        self._rng = np.random.default_rng(
-            abs(hash((name,) + _label_key(labels))) % (2**32)
-        )
+        # crc32, not hash(): builtin string hashing is salted by
+        # PYTHONHASHSEED, so a hash-derived seed differs from process
+        # to process and reservoir percentiles stop reproducing
+        seed = zlib.crc32(repr((name,) + _label_key(labels)).encode())
+        self._rng = np.random.default_rng(seed)
         # raw 63-bit draws are buffered in bulk: one generator call per
         # observation dwarfs the rest of this method on the hot path
         self._randbuf = ()

@@ -126,7 +126,9 @@ class FileSnapshotSink(SnapshotSink):
         yield from self._tmp.fsync(account)
         self.fs.rename(self._tmp.name, self.target_name)
         yield from self.fs._commit(account)  # rename journal commit
-        self._tmp = None
+        # one finalize per sink at a time (the server serializes
+        # snapshots; a concurrent finalize already raises above)
+        self._tmp = None  # slimlint: ignore[SLIM010] single snapshot writer
 
     def abort(self) -> None:
         if self._tmp is not None:

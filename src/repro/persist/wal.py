@@ -323,12 +323,16 @@ class WalManager:
             self._flush_kick.succeed()
 
     def _flusher(self) -> Generator:
+        # the kick-event handoff below is single-writer by design: only
+        # this loop ever assigns _flush_kick; rivals (_kick) may succeed
+        # the parked event but never replace it, so the read-yield-write
+        # cannot lose a rival's update
         while not self._closing:
-            self._flush_kick = self.env.event()
+            self._flush_kick = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
             yield self.env.any_of(
                 [self._flush_kick, self.env.timeout(self.flush_interval)]
             )
-            self._flush_kick = None
+            self._flush_kick = None  # slimlint: ignore[SLIM010] single-writer handoff
             if self._closing:
                 return
             yield from self.flush_now()

@@ -1,0 +1,466 @@
+"""slimflow whole-program rules: seeded bad examples must fire, their
+fixed counterparts must stay quiet.
+
+Each scenario is a small in-memory module set fed through
+``analyze_sources`` — whole-program rules need several modules (or at
+least several functions) to mean anything. The capstone tests run the
+real tree: pristine ``src/repro`` must be clean, and a copy with the
+historical ``WalPath`` flush lock stripped must light up SLIM010.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.flow import analyze_paths, analyze_sources, load_project
+from repro.analysis.flow.callgraph import build_callgraph
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+# --------------------------------------------------------------------------
+# SLIM010 — yield-interleaving races
+# --------------------------------------------------------------------------
+
+def _counter_module(bump_body: str) -> dict:
+    src = f"""
+class Counter:
+    def __init__(self, env):
+        self.env = env
+        self.value = 0
+        self.lock = Resource(env, capacity=1)
+
+    def bump(self):
+{bump_body}
+
+class App:
+    def __init__(self, env):
+        self.env = env
+        self.counter = Counter(env)
+
+    def start(self):
+        self.env.process(self.writer_a())
+        self.env.process(self.writer_b())
+
+    def writer_a(self):
+        yield from self.counter.bump()
+
+    def writer_b(self):
+        yield from self.counter.bump()
+"""
+    return {"src/repro/persist/fake_counter.py": src}
+
+
+RACY_BUMP = """\
+        v = self.value
+        yield self.env.timeout(1)
+        self.value = v + 1
+"""
+
+LOCKED_BUMP = """\
+        req = self.lock.request()
+        yield req
+        try:
+            v = self.value
+            yield self.env.timeout(1)
+            self.value = v + 1
+        finally:
+            self.lock.release(req)
+"""
+
+
+def test_slim010_unlocked_read_yield_write_fires():
+    result = analyze_sources(_counter_module(RACY_BUMP))
+    assert codes(result) == ["SLIM010"]
+    f = result.findings[0]
+    assert "self.value" in f.message
+    assert "Counter.bump" in f.message
+    # the race trace names all three steps
+    labels = [label for label, _line in f.trace]
+    assert any("read" in s for s in labels)
+    assert any("yield" in s for s in labels)
+    assert any("write" in s for s in labels)
+
+
+def test_slim010_lock_region_is_quiet():
+    result = analyze_sources(_counter_module(LOCKED_BUMP))
+    assert codes(result) == []
+
+
+def test_slim010_single_process_is_quiet():
+    # same racy body, but only one simulator process ever runs it
+    mods = _counter_module(RACY_BUMP)
+    src = mods["src/repro/persist/fake_counter.py"]
+    src = src.replace("self.env.process(self.writer_b())", "pass")
+    result = analyze_sources({"src/repro/persist/fake_counter.py": src})
+    assert codes(result) == []
+
+
+def test_slim010_pragma_suppresses_with_intent():
+    mods = _counter_module(RACY_BUMP.replace(
+        "self.value = v + 1",
+        "self.value = v + 1  # slimlint: ignore[SLIM010] test intent",
+    ))
+    result = analyze_sources(mods)
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+WALPATH_IDIOM = """
+class Path:
+    def __init__(self, env):
+        self.env = env
+        self.tail = 0
+        self.flush_lock = Resource(env, capacity=1)
+
+    def flush(self):
+        req = self.flush_lock.request()
+        yield req
+        try:
+            yield from self._flush_locked()
+        finally:
+            self.flush_lock.release(req)
+
+    def _flush_locked(self):
+        t = self.tail
+        yield self.env.timeout(1)
+        self.tail = t + 1
+
+class App:
+    def __init__(self, env):
+        self.env = env
+        self.path = Path(env)
+
+    def start(self):
+        self.env.process(self.writer_a())
+        self.env.process(self.writer_b())
+
+    def writer_a(self):
+        yield from self.path.flush()
+
+    def writer_b(self):
+        yield from self.path.flush()
+"""
+
+
+def test_slim010_callers_lock_protects_interprocedurally():
+    # the WalPath idiom: the racy body lives in _flush_locked, the lock
+    # is held by its only caller — the fixpoint must see through it
+    result = analyze_sources({"src/repro/persist/fake_path.py": WALPATH_IDIOM})
+    assert codes(result) == []
+
+
+def test_slim010_fires_when_the_lock_is_renamed_away():
+    # same module with the lock renamed to something non-lockish: the
+    # protection evaporates and the race must surface
+    src = WALPATH_IDIOM.replace("flush_lock", "flush_note")
+    result = analyze_sources({"src/repro/persist/fake_path.py": src})
+    assert "SLIM010" in codes(result)
+    assert any("self.tail" in f.message for f in result.findings)
+
+
+RECHECK = """
+class Gate:
+    def __init__(self, env):
+        self.env = env
+        self.pending = 0
+        self.window = 4
+
+    def send(self):
+        while self.pending >= self.window:
+            yield self.env.timeout(1)
+        self.pending = 1
+
+class App:
+    def __init__(self, env):
+        self.env = env
+        self.gate = Gate(env)
+
+    def start(self):
+        self.env.process(self.writer_a())
+        self.env.process(self.writer_b())
+
+    def writer_a(self):
+        yield from self.gate.send()
+
+    def writer_b(self):
+        yield from self.gate.send()
+"""
+
+
+def test_slim010_while_recheck_idiom_is_quiet():
+    # `while cond: yield` re-reads the attribute after every wakeup —
+    # the loop back edge puts a read between the yield and the write
+    result = analyze_sources({"src/repro/net/fake_gate.py": RECHECK})
+    assert codes(result) == []
+
+
+NONBLOCKING_DELEGATE = """
+class Box:
+    def __init__(self, env):
+        self.env = env
+        self.n = 0
+
+    def _account(self):
+        return 1
+        yield  # generator by construction, never actually parks
+
+    def poke(self):
+        v = self.n
+        yield from self._account()
+        self.n = v + 1
+
+class App:
+    def __init__(self, env):
+        self.env = env
+        self.box = Box(env)
+
+    def start(self):
+        self.env.process(self.writer_a())
+        self.env.process(self.writer_b())
+
+    def writer_a(self):
+        yield from self.box.poke()
+
+    def writer_b(self):
+        yield from self.box.poke()
+"""
+
+
+def test_slim010_nonblocking_yield_from_is_quiet():
+    # delegating into a generator that never reaches a bare yield is
+    # not a preemption point (the repo's zero-cost accounting idiom)
+    result = analyze_sources({"src/repro/kernel/fake_box.py": NONBLOCKING_DELEGATE})
+    assert codes(result) == []
+
+
+def test_slim010_blocking_yield_from_fires():
+    src = NONBLOCKING_DELEGATE.replace(
+        "        return 1\n        yield  # generator by construction, never actually parks",
+        "        yield self.env.timeout(1)",
+    )
+    result = analyze_sources({"src/repro/kernel/fake_box.py": src})
+    assert codes(result) == ["SLIM010"]
+
+
+# --------------------------------------------------------------------------
+# SLIM011 — seed provenance
+# --------------------------------------------------------------------------
+
+def test_slim011_hash_derived_seed_fires():
+    src = """
+import random
+
+class Sampler:
+    def __init__(self, name):
+        self.rng = random.Random(abs(hash(name)) % (2**32))
+"""
+    result = analyze_sources({"src/repro/obs/fake_sampler.py": src})
+    assert codes(result) == ["SLIM011"]
+    assert "hash()" in result.findings[0].message
+
+
+def test_slim011_seed_named_sources_are_the_trust_anchor():
+    src = """
+import random
+
+class Sampler:
+    def __init__(self, seed, cfg):
+        self.seed = seed
+        self.rng = random.Random(seed ^ 0xBEEF)
+        self.rng2 = random.Random(self.seed)
+        self.rng3 = random.Random(cfg.base_seed if cfg else 0)
+"""
+    result = analyze_sources({"src/repro/workloads/fake_sampler.py": src})
+    assert codes(result) == []
+
+
+def test_slim011_param_chain_resolves_through_the_call_graph():
+    helper = """
+import random
+
+def make_rng(x):
+    return random.Random(x * 2 + 1)
+"""
+    good_caller = """
+from repro.workloads.fake_helper import make_rng
+
+def build(seed):
+    return make_rng(seed ^ 0x5EED)
+"""
+    result = analyze_sources({
+        "src/repro/workloads/fake_helper.py": helper,
+        "src/repro/workloads/fake_caller.py": good_caller,
+    })
+    assert codes(result) == []
+
+    bad_caller = good_caller.replace("make_rng(seed ^ 0x5EED)",
+                                     "make_rng(id(object()))")
+    result = analyze_sources({
+        "src/repro/workloads/fake_helper.py": helper,
+        "src/repro/workloads/fake_caller.py": bad_caller,
+    })
+    assert codes(result) == ["SLIM011"]
+    # the finding lands on the RNG construction site, in the helper
+    assert result.findings[0].file == "src/repro/workloads/fake_helper.py"
+
+
+def test_slim011_untraceable_seed_fires():
+    src = """
+import random
+
+def build(cfg):
+    return random.Random(cfg.shard_index)
+"""
+    result = analyze_sources({"src/repro/workloads/fake_opaque.py": src})
+    assert codes(result) == ["SLIM011"]
+
+
+def test_slim011_unseeded_ctor_fires():
+    src = """
+import numpy as np
+
+def build():
+    return np.random.default_rng()
+"""
+    result = analyze_sources({"src/repro/obs/fake_unseeded.py": src})
+    assert codes(result) == ["SLIM011"]
+
+
+# --------------------------------------------------------------------------
+# SLIM012 — durability protocol
+# --------------------------------------------------------------------------
+
+UNFENCED_SERVER = """
+class Server:
+    def execute(self, op):
+        yield self.cpu.request()
+        seq = self.wal.stage(op)
+        return seq
+"""
+
+GATED_SERVER = """
+class Server:
+    def execute(self, op):
+        yield self.cpu.request()
+        seq = self.wal.stage(op)
+        yield from self.wal.ensure_durable(seq)
+        return seq
+"""
+
+
+def test_slim012_unfenced_execute_return_fires():
+    result = analyze_sources({"src/repro/imdb/fake_server.py": UNFENCED_SERVER})
+    assert codes(result) == ["SLIM012"]
+    assert "Server.execute" in result.findings[0].message
+
+
+def test_slim012_dominating_gate_is_quiet():
+    result = analyze_sources({"src/repro/imdb/fake_server.py": GATED_SERVER})
+    assert codes(result) == []
+
+
+def test_slim012_relaxed_tag_documents_the_contract():
+    src = UNFENCED_SERVER.replace(
+        "return seq",
+        "return seq  # slimflow: relaxed-durability — test everysec window",
+    )
+    result = analyze_sources({"src/repro/imdb/fake_server.py": src})
+    assert codes(result) == []
+
+
+def test_slim012_conditional_gate_is_not_dominating():
+    src = """
+class Server:
+    def execute(self, op):
+        yield self.cpu.request()
+        seq = self.wal.stage(op)
+        if self.policy == "always":
+            yield from self.wal.ensure_durable(seq)
+        return seq
+"""
+    result = analyze_sources({"src/repro/imdb/fake_server.py": src})
+    assert codes(result) == ["SLIM012"]
+
+
+CONN = """
+class Connection:
+    def _dispatch_loop(self, fe, op):
+        result = yield from fe.backend.execute(op)
+        reply = encode("OK")
+        return reply
+"""
+
+
+def test_slim012_resp_ack_delegates_to_the_backend():
+    # the dispatcher acks after `yield from backend.execute(op)`; it is
+    # covered iff the backend's own ack discipline is
+    result = analyze_sources({
+        "src/repro/net/fake_conn.py": CONN,
+        "src/repro/imdb/fake_server.py": GATED_SERVER,
+    })
+    assert codes(result) == []
+
+    result = analyze_sources({
+        "src/repro/net/fake_conn.py": CONN,
+        "src/repro/imdb/fake_server.py": UNFENCED_SERVER,
+    })
+    assert sorted(codes(result)) == ["SLIM012", "SLIM012"]
+
+
+def test_slim012_scope_is_imdb_and_net_only():
+    # the same unfenced shape outside imdb/net is not an ack path
+    src = UNFENCED_SERVER
+    result = analyze_sources({"src/repro/flash/fake_server.py": src})
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------------
+# the real tree
+# --------------------------------------------------------------------------
+
+def test_shipped_tree_is_flow_clean():
+    result = analyze_paths([str(REPO / "src" / "repro")], root=REPO)
+    assert result.errors == []
+    assert [f.render() for f in result.findings] == []
+
+
+def test_walpath_race_caught_when_its_lock_is_stripped(tmp_path):
+    """The acceptance-criteria mutation: strip the WalPath flush lock
+    (the PR 3 race, historically caught only at runtime) and SLIM010
+    must catch it statically."""
+    tree = tmp_path / "src" / "repro"
+    shutil.copytree(REPO / "src" / "repro", tree)
+    paths_py = tree / "core" / "paths.py"
+    mutated = paths_py.read_text(encoding="utf-8").replace(
+        "_flush_lock", "_flush_note")
+    assert "_flush_note" in mutated, "WalPath lock idiom moved; update test"
+    paths_py.write_text(mutated, encoding="utf-8")
+
+    result = analyze_paths([str(tree)], root=tmp_path)
+    races = [f for f in result.findings
+             if f.code == "SLIM010" and f.file.endswith("core/paths.py")]
+    assert races, "lock-stripped WalPath race was not detected"
+    attrs = {f.message.split("`")[1] for f in races}
+    assert any(a.startswith("self._tail") or a.startswith("self._staged")
+               for a in attrs), attrs
+
+
+def test_fact_cache_round_trip(tmp_path):
+    cache = tmp_path / "cache"
+    src_dir = str(REPO / "src" / "repro" / "persist")
+    cold = load_project([src_dir], root=REPO, cache_dir=cache)
+    warm = load_project([src_dir], root=REPO, cache_dir=cache)
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == warm.files_checked == cold.files_checked
+    # cached facts must reproduce the analysis exactly
+    cold_g = build_callgraph(cold)
+    warm_g = build_callgraph(warm)
+    assert cold_g.roots == warm_g.roots
+    assert cold_g.shared_classes == warm_g.shared_classes
+    assert cold_g.always_under_lock == warm_g.always_under_lock
+    assert sorted(f.ref for f in cold.functions()) == \
+        sorted(f.ref for f in warm.functions())

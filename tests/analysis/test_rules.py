@@ -194,3 +194,63 @@ def test_syntax_error_is_reported_not_crashed():
     result = lint_source("def broken(:\n", package="core")
     assert not result.ok
     assert result.errors and "syntax error" in result.errors[0]
+
+
+# ------------------------------------------------- pragma hardening
+def test_unknown_rule_id_in_pragma_is_an_error_not_a_silent_noop():
+    src = ("import time\n"
+           "t = time.time()  # slim" "lint: ignore[SLIM303]\n")
+    result = lint_source(src, package="bench")
+    # the typo'd pragma suppresses nothing AND is reported
+    assert codes(result) == ["SLIM003"]
+    assert result.suppressed == 0
+    assert any("unknown rule id" in e and "SLIM303" in e
+               for e in result.errors)
+
+
+def test_mixed_known_and_unknown_codes_keeps_the_known_half():
+    src = ("import time\n"
+           "t = time.time()  # slim" "lint: ignore[SLIM003, SLIM999]\n")
+    result = lint_source(src, package="bench")
+    assert codes(result) == []
+    assert result.suppressed == 1
+    assert any("SLIM999" in e for e in result.errors)
+
+
+def test_malformed_pragma_attempt_is_diagnosed():
+    # missing brackets: the strict pattern skips it, the attempt
+    # detector must not
+    src = ("import time\n"
+           "t = time.time()  # slim" "lint: ignore SLIM003\n")
+    result = lint_source(src, package="bench")
+    assert codes(result) == ["SLIM003"]
+    assert any("malformed slimlint pragma" in e for e in result.errors)
+
+
+def test_lowercase_rule_id_is_rejected_loudly():
+    src = ("import time\n"
+           "t = time.time()  # slim" "lint: ignore[slim003]\n")
+    result = lint_source(src, package="bench")
+    assert codes(result) == ["SLIM003"]
+    assert any("unknown rule id" in e for e in result.errors)
+
+
+def test_empty_code_list_is_diagnosed():
+    src = "x = 1  # slim" "lint: ignore[ ]\n"
+    result = lint_source(src, package="core")
+    assert any("names no rule codes" in e for e in result.errors)
+
+
+def test_flow_codes_are_pragma_known():
+    # slimflow findings share the suppression syntax, so SLIM010-012
+    # must not be rejected as unknown ids by slimlint's scanner
+    src = "x = 1  # slimlint: ignore[SLIM010]\n"
+    result = lint_source(src, package="persist")
+    assert result.ok
+
+
+def test_wellformed_pragma_with_trailing_prose_still_works():
+    src = ("import time\n"
+           "t = time.time()  # slimlint: ignore[SLIM003] boot-time banner\n")
+    result = lint_source(src, package="bench")
+    assert result.ok and result.suppressed == 1

@@ -92,3 +92,39 @@ def test_sequential_scan_always_exact(window):
         return bytes(out)
 
     assert env.run(until=env.process(driver())) == payload
+
+
+def test_concurrent_prefetchers_never_duplicate_a_batch(monkeypatch):
+    """Regression (slimflow SLIM010): ``_prefetch`` read the cursor,
+    parked in ``ring.submit``, and only then advanced it — so a second
+    process driving the same buffer re-submitted the same batch while
+    the first was parked. The cursor must be reserved before the yield.
+    """
+    env, dev, ring, payload = seeded_world()
+    ra = ReadAheadBuffer(ring, base_lba=5, npages=NPAGES,
+                         window_pages=NPAGES, batch_pages=2)
+    submitted = []
+    orig = ring.submit
+
+    def counting_submit(cmd, account):
+        submitted.append((cmd.lba, cmd.nlb))
+        return orig(cmd, account)
+
+    monkeypatch.setattr(ring, "submit", counting_submit)
+    a1, a2 = CpuAccount(env, "r1"), CpuAccount(env, "r2")
+    p1 = env.process(ra._prefetch(a1))
+    p2 = env.process(ra._prefetch(a2))
+    env.run(until=env.all_of([p1, p2]))
+
+    # every page prefetched exactly once, between the two of them
+    starts = [lba for lba, _ in submitted]
+    assert len(starts) == len(set(starts)), f"duplicate batches: {submitted}"
+    covered = sorted(lba + i for lba, nlb in submitted for i in range(nlb))
+    assert covered == list(range(5, 5 + NPAGES))
+
+    # and the buffer still serves correct bytes afterwards
+    def check():
+        data = yield from ra.read(0, len(payload), a1)
+        return data
+
+    assert env.run(until=env.process(check())) == payload

@@ -145,3 +145,35 @@ def test_labeled_view_events_and_spans(reg):
     view.event("reshard_begin", slots=8)
     assert reg.events[-1]["shard"] == "shard3"
     assert reg.events[-1]["name"] == "reshard_begin"
+
+
+def test_reservoir_reproduces_across_interpreter_hash_seeds():
+    """Regression (slimflow SLIM011): the reservoir RNG was seeded from
+    builtin ``hash()``, which PYTHONHASHSEED salts per process — two
+    identical runs sampled different reservoirs and percentile metrics
+    stopped reproducing. The seed must come from a stable digest.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = (
+        "from repro.obs import MetricsRegistry\n"
+        "from repro.sim import Environment\n"
+        "r = MetricsRegistry(Environment())\n"
+        "h = r.histogram('lat', reservoir=8, op='get', shard='s1')\n"
+        "for i in range(500):\n"
+        "    h.observe(float(i))\n"
+        "print(h._reservoir)\n"
+    )
+    src = Path(__file__).resolve().parents[2] / "src"
+    outs = []
+    for hash_seed in ("1", "4242"):
+        env = {**os.environ, "PYTHONHASHSEED": hash_seed,
+               "PYTHONPATH": str(src)}
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outs.append(proc.stdout)
+    assert outs[0] == outs[1], (
+        "reservoir sampling depends on the interpreter hash seed")
