@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro.bench list
-    python -m repro.bench table3 [--scale test|bench]
-    python -m repro.bench all [--scale test|bench] [--jobs N]
+    python -m repro.bench table3 [--scale test|bench|prod]
+    python -m repro.bench all [--scale test|bench|prod] [--jobs N]
+    python -m repro.bench table1 --profile 25   # cProfile hotspots
     python -m repro.bench perf [--out BENCH_perf.json]
 
 Reports are deterministic: the same tree, scale, and experiment set
@@ -64,7 +65,7 @@ def main(argv=None) -> int:
                         help="experiment ids (e.g. table3 figure4), "
                              "'all', 'list', or 'perf'")
     parser.add_argument("--scale", default="bench",
-                        help="scale preset: test | bench (default)")
+                        help="scale preset: test | bench (default) | prod")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file "
                              "(default: out/bench_<scale>_results.txt; "
@@ -85,6 +86,11 @@ def main(argv=None) -> int:
                              "sanitizers active on every SlimIO system "
                              "(validates region/PID placement, slot "
                              "promotion, and fork-race freedom)")
+    parser.add_argument("--profile", type=int, default=None, metavar="N",
+                        help="run one experiment under cProfile and "
+                             "print the top-N cumulative hotspots to "
+                             "stderr (bypasses the result cache; the "
+                             "report itself stays deterministic)")
     parser.add_argument("--faults", action="store_true",
                         help="run every SlimIO system under the "
                              "repro.faults transient-error injector "
@@ -117,6 +123,32 @@ def main(argv=None) -> int:
     out_path = args.out
     if out_path is None:
         out_path = f"out/bench_{scale.name}_results.txt"
+
+    if args.profile is not None:
+        # profiling shell: wall-time introspection only, stderr only —
+        # the report text is untouched (slimlint SLIM003 sanctions
+        # this file as a measurement shell)
+        if args.profile < 1:
+            print("--profile must be >= 1", file=sys.stderr)
+            return 2
+        if len(names) != 1:
+            print("--profile takes exactly one experiment",
+                  file=sys.stderr)
+            return 2
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        text, ok, elapsed = _run_experiment(names[0], scale.name,
+                                            args.sanitize, args.faults)
+        prof.disable()
+        print(f"({names[0]}: {elapsed:.1f}s wall under cProfile)",
+              file=sys.stderr)
+        stats = pstats.Stats(prof, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+        print(text)
+        return 0 if ok else 1
 
     # resolve cache hits first; only misses go to the worker pool
     done: dict[str, tuple[str, bool]] = {}

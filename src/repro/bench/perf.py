@@ -70,9 +70,13 @@ def measure_suite(scale) -> dict:
         total_events += events
         print(f"  {name:<10s} {wall:7.2f}s  {events:>10d} events",
               file=sys.stderr)
+    from repro.sim.compiled import engine_backend
+
     return {
         "scale": scale.name,
-        "config": {"batched": scale.batched, "fast_sim": scale.fast_sim},
+        "config": {"batched": scale.batched, "fast_sim": scale.fast_sim,
+                   "fast_forward": scale.fast_forward,
+                   "engine_backend": engine_backend()},
         "experiments": experiments,
         "total_wall_s": round(total_wall, 2),
         "total_sim_events": total_events,
@@ -106,7 +110,7 @@ def _measure(scale_name: str, out_path: str, skip_reference: bool) -> int:
     print(f"measuring optimized suite at scale '{scale.name}' ...",
           file=sys.stderr)
     optimized = measure_suite(
-        replace(scale, batched=True, fast_sim=True))
+        replace(scale, batched=True, fast_sim=True, fast_forward=True))
     payload = {
         "description": "SlimIO reproduction perf trajectory "
                        "(see docs/PERFORMANCE.md)",
@@ -115,7 +119,8 @@ def _measure(scale_name: str, out_path: str, skip_reference: bool) -> int:
     if not skip_reference:
         print("measuring per-page reference path ...", file=sys.stderr)
         reference = measure_suite(
-            replace(scale, batched=False, fast_sim=False))
+            replace(scale, batched=False, fast_sim=False,
+                    fast_forward=False))
         payload["reference"] = reference
         if reference["total_wall_s"]:
             payload["speedup_vs_reference"] = round(

@@ -24,7 +24,7 @@ from repro.flash import FlashGeometry, FtlConfig, NandTiming
 from repro.imdb import ServerConfig
 from repro.workloads import RedisBenchWorkload, YcsbAWorkload
 
-__all__ = ["Scale", "TEST_SCALE", "BENCH_SCALE"]
+__all__ = ["Scale", "TEST_SCALE", "BENCH_SCALE", "PROD_SCALE"]
 
 MB = 1024 * 1024
 
@@ -66,6 +66,7 @@ class Scale:
     #: simulator fast lanes (result-invariant; see SystemConfig)
     batched: bool = True
     fast_sim: bool = True
+    fast_forward: bool = True
 
     # ------------------------------------------------------------------ configs
     def _geometry(self, mb: int) -> FlashGeometry:
@@ -117,6 +118,7 @@ class Scale:
             faults=self.faults,
             batched=self.batched,
             fast_sim=self.fast_sim,
+            fast_forward=self.fast_forward,
         )
         if overrides:
             cfg = replace(cfg, **overrides)
@@ -180,8 +182,36 @@ BENCH_SCALE = Scale(
 )
 
 
+#: ``PROD_SCALE`` pushes toward the paper's scale along the axes the
+#: lightweight-path phenomena care about: 4x the operation counts and
+#: a 50% larger device, so runs spend long stretches in the steady
+#: periodic-flush regime where the quiescence fast-forward lane and
+#: the array-backed hot state pay off. Still laptop-sized: a full
+#: suite completes in minutes, not hours.
+PROD_SCALE = Scale(
+    name="prod",
+    small_device_mb=96,
+    large_device_mb=384,
+    channels=8,
+    dies_per_channel=8,
+    pages_per_block=8,
+    redis_clients=50,
+    redis_ops=64_000,
+    redis_keys=2_400,
+    redis_value=4096,
+    ycsb_clients=16,
+    ycsb_ops=64_000,
+    ycsb_keys=6_000,
+    ycsb_value=2048,
+    wal_trigger_bytes=20 * MB,
+    warmup_ops=6_000,
+    gc_heavy_device_mb=96,
+    gc_heavy_trigger_bytes=10 * MB,
+)
+
+
 def get_scale(name: str) -> Scale:
-    scales = {"test": TEST_SCALE, "bench": BENCH_SCALE}
+    scales = {"test": TEST_SCALE, "bench": BENCH_SCALE, "prod": PROD_SCALE}
     if name not in scales:
         raise KeyError(f"unknown scale {name!r}; choose from {sorted(scales)}")
     return scales[name]

@@ -221,4 +221,8 @@ def build_cluster(env: Environment | None = None,
     cfg = config or ClusterConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return SlimIOCluster(env or Environment(fast_resume=cfg.system.fast_sim), cfg)
+    return SlimIOCluster(
+        env or Environment(fast_resume=cfg.system.fast_sim,
+                           fast_forward=cfg.system.fast_forward),
+        cfg,
+    )

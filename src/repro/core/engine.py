@@ -109,7 +109,7 @@ class SystemConfig:
     faults: bool = False
     fault_seed: int = 20260807
 
-    # simulator performance knobs — both are result-invariant: any
+    # simulator performance knobs — all are result-invariant: any
     # combination produces byte-identical reports (pinned by
     # tests/bench/test_determinism.py); they only trade heap events
     # for wall-clock time.
@@ -117,6 +117,9 @@ class SystemConfig:
     batched: bool = True
     #: engine inline-resume / timeout-recycling fast paths
     fast_sim: bool = True
+    #: quiescence fast-forward lane: closed-form absorption of pure
+    #: delays, idle WAL flush ticks, and idle poll loops
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.num_pids is not None and self.num_pids < 1:
@@ -401,7 +404,11 @@ def build_baseline(env: Environment | None = None,
     cfg = config or SystemConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return BaselineSystem(env or Environment(fast_resume=cfg.fast_sim), cfg)
+    return BaselineSystem(
+        env or Environment(fast_resume=cfg.fast_sim,
+                           fast_forward=cfg.fast_forward),
+        cfg,
+    )
 
 
 def build_slimio(env: Environment | None = None,
@@ -411,4 +418,8 @@ def build_slimio(env: Environment | None = None,
     cfg = config or SystemConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
-    return SlimIOSystem(env or Environment(fast_resume=cfg.fast_sim), cfg)
+    return SlimIOSystem(
+        env or Environment(fast_resume=cfg.fast_sim,
+                           fast_forward=cfg.fast_forward),
+        cfg,
+    )

@@ -121,6 +121,12 @@ class WalPath(AppendSink):
     def size(self) -> int:
         return self._gen_bytes
 
+    @property
+    def flush_is_noop(self) -> bool:
+        """Nothing staged and no partial tail page: flush returns
+        before even taking the flush lock — zero events, zero time."""
+        return not self._staged and self._tail_vpn is None
+
     def append(self, data: bytes, account: CpuAccount) -> Generator:
         """Stage at the tail (user-space; no device I/O yet)."""
         self._staged.append(data)

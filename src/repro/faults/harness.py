@@ -278,7 +278,8 @@ def select_cut_points(trace, total_pages: int,
 def _golden_run(cfg: CrashMatrixConfig, sys_cfg: SystemConfig,
                 ops: list[ClientOp]):
     """Trace the workload's page writes; returns (trace, total_pages)."""
-    env = Environment(fast_resume=sys_cfg.fast_sim)
+    env = Environment(fast_resume=sys_cfg.fast_sim,
+                      fast_forward=sys_cfg.fast_forward)
     faulty = FaultyDevice(_make_device(env, sys_cfg), trace=True)
     system = SlimIOSystem(env, sys_cfg, device=faulty)
     progress: dict[str, int] = {"started": 0, "acked": 0}
@@ -296,7 +297,8 @@ def _golden_run(cfg: CrashMatrixConfig, sys_cfg: SystemConfig,
 def _recover_image(image: dict[int, bytes], sys_cfg: SystemConfig):
     """Boot a fresh system on a crash image; returns
     (system, RecoveryResult)."""
-    env = Environment(fast_resume=sys_cfg.fast_sim)
+    env = Environment(fast_resume=sys_cfg.fast_sim,
+                      fast_forward=sys_cfg.fast_forward)
     device = _make_device(env, sys_cfg)
     device.load_image(image)
     system = SlimIOSystem(env, sys_cfg, device=device)
@@ -321,7 +323,8 @@ def _run_one_cut(cfg: CrashMatrixConfig, sys_cfg: SystemConfig,
                  ops: list[ClientOp],
                  states: list[dict[bytes, bytes]],
                  cut_page: int) -> CutOutcome:
-    env = Environment(fast_resume=sys_cfg.fast_sim)
+    env = Environment(fast_resume=sys_cfg.fast_sim,
+                      fast_forward=sys_cfg.fast_forward)
     spec = PowerCutSpec(at_page_write=cut_page, torn=cfg.torn,
                         seed=cfg.seed + cut_page)
     faulty = FaultyDevice(_make_device(env, sys_cfg), power=spec)
@@ -476,7 +479,8 @@ def run_error_lane(cfg: CrashMatrixConfig | None = None,
                                read_error_rate=0.02)
     sys_cfg = replace(cfg.system_config(), faults=True,
                       fault_seed=cfg.seed)
-    env = Environment(fast_resume=sys_cfg.fast_sim)
+    env = Environment(fast_resume=sys_cfg.fast_sim,
+                      fast_forward=sys_cfg.fast_forward)
     system = SlimIOSystem(env, sys_cfg)
     injector = system.fault_injector
     injector.errors = error_spec  # FaultyDevice spec is swappable

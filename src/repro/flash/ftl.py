@@ -14,9 +14,12 @@ One FTL class covers both devices in the paper:
   when the host deallocates a region its segments become fully invalid
   and GC erases them without copying a single page: WAF = 1.00.
 
-The FTL tracks logical→physical mapping with numpy arrays, runs GC as
-a background simulation process competing for the same NAND dies as
-host I/O, and exposes write-amplification and stall statistics.
+The FTL tracks logical→physical mapping in preallocated buffers
+(:mod:`repro.flash.l2p`): memoryview scalar access on the per-page hot
+path, zero-copy numpy views over the same bytes for the vectorized
+paths. GC runs as a background simulation process competing for the
+same NAND dies as host I/O; write-amplification and stall statistics
+are exposed per stream.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from collections.abc import Generator, Sequence
 import numpy as np
 
 from repro.flash.geometry import FlashGeometry, NandTiming
+from repro.flash.l2p import IntVec, L2PMap
 from repro.flash.nand import NandArray
 from repro.obs.spans import maybe_span
 from repro.sim import Environment, Event
@@ -142,13 +146,27 @@ class FlashTranslationLayer:
             )
 
         self.num_lpns = int(g.total_pages * (1.0 - self.config.op_ratio))
-        # logical→physical and inverse maps (-1 = unmapped/invalid)
-        self._l2p = np.full(self.num_lpns, -1, dtype=np.int64)
-        self._p2l = np.full(g.total_pages, -1, dtype=np.int64)
-        self._seg_state = np.full(g.segments, SEG_FREE, dtype=np.int8)
-        self._seg_valid = np.zeros(g.segments, dtype=np.int32)
-        self._seg_stream = np.full(g.segments, -1, dtype=np.int32)
-        self._seg_erase_count = np.zeros(g.segments, dtype=np.int64)
+        # logical→physical and inverse maps (-1 = unmapped/invalid).
+        # All per-page/per-segment state is preallocated (L2PMap /
+        # IntVec): memoryviews (*_mv) for the scalar hot path, numpy
+        # views over the same bytes for the vectorized paths.
+        self._map = L2PMap(self.num_lpns, g.total_pages)
+        self._l2p = self._map.fwd_np
+        self._p2l = self._map.rev_np
+        self._l2p_mv = self._map.fwd
+        self._p2l_mv = self._map.rev
+        self._seg_state_v = IntVec(g.segments, SEG_FREE, "b")
+        self._seg_valid_v = IntVec(g.segments, 0, "i")
+        self._seg_stream_v = IntVec(g.segments, -1, "i")
+        self._seg_erase_v = IntVec(g.segments, 0, "q")
+        self._seg_state = self._seg_state_v.np
+        self._seg_valid = self._seg_valid_v.np
+        self._seg_stream = self._seg_stream_v.np
+        self._seg_erase_count = self._seg_erase_v.np
+        self._seg_state_mv = self._seg_state_v.mv
+        self._seg_valid_mv = self._seg_valid_v.mv
+        self._seg_stream_mv = self._seg_stream_v.mv
+        self._seg_erase_mv = self._seg_erase_v.mv
         self._free: deque[int] = deque(range(g.segments))
 
         self._streams: dict[int, _Stream] = {}
@@ -224,16 +242,16 @@ class FlashTranslationLayer:
     def mapped_ppn(self, lpn: int) -> int:
         """Current physical page of ``lpn`` (-1 if unmapped)."""
         self._check_lpn(lpn)
-        return int(self._l2p[lpn])
+        return self._l2p_mv[lpn]
 
     def segment_valid_count(self, seg: int) -> int:
-        return int(self._seg_valid[seg])
+        return self._seg_valid_mv[seg]
 
     def segment_stream(self, seg: int) -> int:
-        return int(self._seg_stream[seg])
+        return self._seg_stream_mv[seg]
 
     def erase_count(self, seg: int) -> int:
-        return int(self._seg_erase_count[seg])
+        return self._seg_erase_mv[seg]
 
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.num_lpns:
@@ -269,7 +287,7 @@ class FlashTranslationLayer:
     def read(self, lpn: int) -> Generator:
         """Host page read; unmapped pages cost nothing (returned zeroed)."""
         self._check_lpn(lpn)
-        ppn = int(self._l2p[lpn])
+        ppn = self._l2p_mv[lpn]
         if ppn < 0:
             return False
         yield from self.nand.read_page(ppn)
@@ -373,7 +391,7 @@ class FlashTranslationLayer:
                 or stream.write_ptr[role] >= self.geometry.pages_per_segment
             ):
                 if seg is not None:
-                    self._seg_state[seg] = SEG_FULL
+                    self._seg_state_mv[seg] = SEG_FULL
                     stream.open_segment[role] = None
                     self._maybe_kick_gc()
                 seg = yield from self._alloc_segment(stream_id, role)
@@ -387,14 +405,11 @@ class FlashTranslationLayer:
         finally:
             stream.place_locks[role].release(lock)
 
-        old = int(self._l2p[lpn])
+        old = self._map.map(lpn, ppn)
         if old >= 0:
-            self._p2l[old] = -1
-            self._seg_valid[self.geometry.segment_of_page(old)] -= 1
+            self._seg_valid_mv[self.geometry.segment_of_page(old)] -= 1
             self._on_invalidation()
-        self._l2p[lpn] = ppn
-        self._p2l[ppn] = lpn
-        self._seg_valid[self.geometry.segment_of_page(ppn)] += 1
+        self._seg_valid_mv[self.geometry.segment_of_page(ppn)] += 1
         return ppn
 
     def _alloc_segment(self, stream_id: int, role: int) -> Generator:
@@ -403,8 +418,8 @@ class FlashTranslationLayer:
             self._maybe_kick_gc()
             if len(self._free) > floor:
                 seg = self._free.popleft()
-                self._seg_state[seg] = SEG_OPEN
-                self._seg_stream[seg] = stream_id
+                self._seg_state_mv[seg] = SEG_OPEN
+                self._seg_stream_mv[seg] = stream_id
                 if self.obs is not None:
                     self._obs_free.set(float(len(self._free)))
                 return seg
@@ -435,7 +450,7 @@ class FlashTranslationLayer:
                 seg = stream.open_segment[role]
                 if seg is None or stream.write_ptr[role] >= g.pages_per_segment:
                     if seg is not None:
-                        self._seg_state[seg] = SEG_FULL
+                        self._seg_state_mv[seg] = SEG_FULL
                         stream.open_segment[role] = None
                         self._maybe_kick_gc()
                     seg = yield from self._alloc_segment(stream_id, role)
@@ -471,19 +486,16 @@ class FlashTranslationLayer:
         new = np.arange(base, base + arr.size, dtype=np.int64)
         self._l2p[arr] = new
         self._p2l[new] = arr
-        self._seg_valid[seg] += arr.size
+        self._seg_valid_mv[seg] += arr.size
         if live.size:
             self._on_invalidation()
 
     def _map_one(self, lpn: int, ppn: int) -> None:
-        old = int(self._l2p[lpn])
+        old = self._map.map(lpn, ppn)
         if old >= 0:
-            self._p2l[old] = -1
-            self._seg_valid[self.geometry.segment_of_page(old)] -= 1
+            self._seg_valid_mv[self.geometry.segment_of_page(old)] -= 1
             self._on_invalidation()
-        self._l2p[lpn] = ppn
-        self._p2l[ppn] = lpn
-        self._seg_valid[self.geometry.segment_of_page(ppn)] += 1
+        self._seg_valid_mv[self.geometry.segment_of_page(ppn)] += 1
 
     # ------------------------------------------------------------------ GC
     def _maybe_kick_gc(self) -> None:
@@ -505,7 +517,7 @@ class FlashTranslationLayer:
         if full.size == 0:
             return None
         best = int(full[np.argmin(self._seg_valid[full])])
-        if self._seg_valid[best] >= self.geometry.pages_per_segment:
+        if self._seg_valid_mv[best] >= self.geometry.pages_per_segment:
             return None
         return best
 
@@ -523,8 +535,8 @@ class FlashTranslationLayer:
                 if seg is None:
                     continue
                 written = stream.write_ptr[role]
-                if written > 0 and self._seg_valid[seg] < written:
-                    self._seg_state[seg] = SEG_FULL
+                if written > 0 and self._seg_valid_mv[seg] < written:
+                    self._seg_state_mv[seg] = SEG_FULL
                     stream.open_segment[role] = None
                     stream.write_ptr[role] = 0
                     self.counters.add("forced_closes")
@@ -588,14 +600,14 @@ class FlashTranslationLayer:
         """Copy a victim's valid pages, then erase it."""
         g = self.geometry
         base = g.first_page_of_segment(victim)
-        stream_id = int(self._seg_stream[victim])
+        stream_id = self._seg_stream_mv[victim]
         with maybe_span(self.obs, "gc_reclaim", track="gc",
                         stream=stream_id) as gc_span:
             copied = 0
             window: list[tuple[int, int]] = []
             for off in range(g.pages_per_segment):
                 ppn = base + off
-                lpn = int(self._p2l[ppn])
+                lpn = self._p2l_mv[ppn]
                 if lpn < 0:
                     continue
                 window.append((lpn, ppn))
@@ -612,10 +624,10 @@ class FlashTranslationLayer:
                 # can tell copying reclaims from copy-free erases
                 gc_span.labels["copied"] = copied
             yield from self.nand.erase_segment(victim)
-        self._seg_state[victim] = SEG_FREE
-        self._seg_stream[victim] = -1
-        self._seg_valid[victim] = 0
-        self._seg_erase_count[victim] += 1
+        self._seg_state_mv[victim] = SEG_FREE
+        self._seg_stream_mv[victim] = -1
+        self._seg_valid_mv[victim] = 0
+        self._seg_erase_mv[victim] += 1
         self._free.append(victim)
         self.stats.segments_erased += 1
         if self.obs is not None:
@@ -635,11 +647,12 @@ class FlashTranslationLayer:
         flight), then one placement pass and one program burst for the
         survivors.
         """
-        live = [(lpn, ppn) for lpn, ppn in pairs if int(self._l2p[lpn]) == ppn]
+        l2p = self._l2p_mv
+        live = [(lpn, ppn) for lpn, ppn in pairs if l2p[lpn] == ppn]
         if not live:
             return
         yield self.nand.read_pages([ppn for _lpn, ppn in live])
-        live = [(lpn, ppn) for lpn, ppn in live if int(self._l2p[lpn]) == ppn]
+        live = [(lpn, ppn) for lpn, ppn in live if l2p[lpn] == ppn]
         if not live:
             return
         dsts = yield from self._place_chunked(

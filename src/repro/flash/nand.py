@@ -31,6 +31,7 @@ is exactly what the perf harness measures.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Generator, Sequence
 
 from repro.flash.geometry import FlashGeometry, NandTiming
@@ -57,8 +58,18 @@ class NandArray:
         self._dies = [Resource(env, capacity=1) for _ in range(geometry.total_dies)]
         self._channels = [Resource(env, capacity=1) for _ in range(geometry.channels)]
         self.counters = Counter()
-        #: accumulated die-busy time, for utilization reporting
-        self.die_busy_time = 0.0
+        #: accumulated busy time per die, preallocated; summed on the
+        #: (rare) reporting reads, bumped per operation on the hot path
+        self._die_busy = memoryview(array("d", [0.0]) * geometry.total_dies)
+
+    @property
+    def die_busy_time(self) -> float:
+        """Total die-busy time across the array (utilization numerator)."""
+        return sum(self._die_busy)
+
+    def die_busy(self, die: int) -> float:
+        """Accumulated busy time of one die (hotspot attribution)."""
+        return self._die_busy[die]
 
     # -- burst helpers ---------------------------------------------------------
     def _channel_runs(
@@ -180,7 +191,7 @@ class NandArray:
 
             def on_done(_e) -> None:
                 resource.release(dreq)
-                self.die_busy_time += t_prog
+                self._die_busy[die] += t_prog
                 self.counters.add("page_programs")
                 state[0] -= 1
                 if not state[0]:
@@ -262,7 +273,7 @@ class NandArray:
 
             def on_sense(_e) -> None:
                 resource.release(dreq)
-                self.die_busy_time += t_read
+                self._die_busy[die] += t_read
                 senses[0] -= 1
                 if not senses[0]:
                     after_senses()
@@ -313,7 +324,7 @@ class NandArray:
 
             def on_done(_e) -> None:
                 resource.release(dreq)
-                self.die_busy_time += t_erase
+                self._die_busy[die] += t_erase
                 state[0] -= 1
                 if not state[0]:
                     self.counters.add("segment_erases")

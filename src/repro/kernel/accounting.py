@@ -29,17 +29,24 @@ class CpuAccount:
         """Spend ``dt`` CPU seconds attributed to ``component``.
 
         Returns the timeout event to ``yield`` on, or ``None`` when the
-        charge is free. Returning the event directly instead of
-        delegating through a one-yield generator keeps the hot path
-        (one charge per op per layer) free of a trampoline per call;
-        callers do ``ev = acct.charge(...); if ev is not None: yield ev``
-        — or ``yield acct.charge(...)`` when the cost is known positive.
+        charge is free — or when the environment's quiescence
+        fast-forward lane absorbed the delay in closed form (the clock
+        has already advanced; there is nothing left to wait for).
+        Returning the event directly instead of delegating through a
+        one-yield generator keeps the hot path (one charge per op per
+        layer) free of a trampoline per call; callers MUST use the
+        guarded pattern ``ev = acct.charge(...); if ev is not None:
+        yield ev`` — a bare ``yield acct.charge(...)`` would yield
+        ``None`` whenever the fast-forward lane fires.
         """
         if dt < 0:
             raise ValueError("negative charge")
         self._components.add(component, dt)
         if dt > 0:
-            return self.env.timeout(dt)
+            env = self.env
+            if env.ff_advance(dt):
+                return None
+            return env.timeout(dt)
         return None
 
     def note(self, component: str, dt: float) -> None:

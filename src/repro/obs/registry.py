@@ -17,6 +17,7 @@ the instrumentation contract is *zero work without a registry*.
 from __future__ import annotations
 
 import zlib
+from array import array
 
 import numpy as np
 
@@ -105,7 +106,8 @@ class ObsHistogram:
     """
 
     __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "_reservoir", "_cap", "_rng", "_randbuf", "_randpos")
+                 "_res_mv", "_res_np", "_rsize", "_cap", "_rng",
+                 "_randbuf", "_randpos")
     kind = "histogram"
 
     def __init__(self, name: str, labels: dict, reservoir: int = 512):
@@ -117,7 +119,12 @@ class ObsHistogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._reservoir: list[float] = []
+        # preallocated reservoir: memoryview scalar stores on the
+        # observe() hot path, a zero-copy numpy view for percentiles
+        buf = array("d", [0.0]) * reservoir
+        self._res_mv = memoryview(buf)
+        self._res_np = np.frombuffer(buf, dtype=np.float64)
+        self._rsize = 0
         self._cap = reservoir
         # crc32, not hash(): builtin string hashing is salted by
         # PYTHONHASHSEED, so a hash-derived seed differs from process
@@ -136,8 +143,10 @@ class ObsHistogram:
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self._reservoir) < self._cap:
-            self._reservoir.append(value)
+        n = self._rsize
+        if n < self._cap:
+            self._res_mv[n] = value
+            self._rsize = n + 1
         else:
             i = self._randpos
             if i >= len(self._randbuf):
@@ -148,18 +157,21 @@ class ObsHistogram:
             self._randpos = i + 1
             j = self._randbuf[i] % self.count
             if j < self._cap:
-                self._reservoir[j] = value
+                self._res_mv[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    @property
+    def reservoir(self) -> list[float]:
+        """The sampled values (a copy; at most ``reservoir`` entries)."""
+        return self._res_np[: self._rsize].tolist()
+
     def percentile(self, q: float) -> float:
-        if not self._reservoir:
+        if not self._rsize:
             return float("nan")
-        return float(np.percentile(
-            np.asarray(self._reservoir, dtype=np.float64), q
-        ))
+        return float(np.percentile(self._res_np[: self._rsize], q))
 
     def summary(self) -> dict:
         if self.count == 0:

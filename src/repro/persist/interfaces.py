@@ -45,6 +45,17 @@ class AppendSink(ABC):
     def size(self) -> int:
         """Bytes appended to the current log generation."""
 
+    @property
+    def flush_is_noop(self) -> bool:
+        """True when :meth:`flush` would provably do nothing at all —
+        no device I/O, no simulated time, no state change. The WAL
+        flusher's quiescence fast-forward may then replay idle flush
+        ticks in closed form. Defaults to False: a journaling file
+        sink's fsync commits the journal (real device writes) even
+        with an empty buffer, so only sinks that can prove emptiness
+        opt in."""
+        return False
+
     @abstractmethod
     def read_all(self, account: CpuAccount) -> Generator:
         """Read every live generation, oldest first (recovery replay)."""

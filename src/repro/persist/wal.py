@@ -322,21 +322,59 @@ class WalManager:
         if self._flush_kick is not None and not self._flush_kick.triggered:
             self._flush_kick.succeed()
 
+    def _ff_quiescent(self) -> bool:
+        """True when the next periodic flush tick would provably do
+        nothing: no staged records, no pending generation switch,
+        everything durable, sink idle with a no-op flush, no request
+        tracing (absorbed ticks would elide its spans). Under this
+        predicate every state change that could disturb the pattern —
+        a ``stage``, a ``rotate_begin``, a ``close`` — can only happen
+        inside a heap dispatch, so ticks landing strictly before the
+        next scheduled event replay in closed form."""
+        return (
+            not self._buffer
+            and not self._boundary_pending
+            and self._durable_seq >= self._staged_seq
+            and not self._closing
+            and self._sink_lock.count == 0
+            and self._sink_lock.queue_len == 0
+            and self.rtrace is None
+            and self.sink.flush_is_noop
+        )
+
     def _flusher(self) -> Generator:
         # the kick-event handoff below is single-writer by design: only
         # this loop ever assigns _flush_kick; rivals (_kick) may succeed
         # the parked event but never replace it, so the read-yield-write
         # cannot lose a rival's update
+        env = self.env
         while not self._closing:
-            self._flush_kick = self.env.event()  # slimlint: ignore[SLIM010] single-writer handoff
-            yield self.env.any_of(
-                [self._flush_kick, self.env.timeout(self.flush_interval)]
+            self._flush_kick = env.event()  # slimlint: ignore[SLIM010] single-writer handoff
+            yield env.any_of(
+                [self._flush_kick, env.timeout(self.flush_interval)]
             )
             self._flush_kick = None  # slimlint: ignore[SLIM010] single-writer handoff
             if self._closing:
                 return
             yield from self.flush_now()
             self.counters.add("periodic_flushes")
+            if env.fast_forward and self._ff_quiescent():
+                # Quiescence fast-forward: replay the following run of
+                # provably idle ticks in closed form. Each absorbed tick
+                # is exactly the flush we just ran — counters bump, no
+                # time, no I/O — so k ticks collapse into one wake-up at
+                # the k-th instant (idle wal_fsync spans are elided).
+                k, wake = env.ff_absorb_ticks(self.flush_interval)
+                if k:
+                    self.counters.add("sync_flushes", k)
+                    self.counters.add("periodic_flushes", k)
+                    # per idle tick the classic lane dispatches the tick
+                    # timeout and the AnyOf condition, plus an immediate
+                    # event for the sink-lock grant when inline resume
+                    # is off; the wake-up event itself pays for one
+                    per_tick = 2 if env._fast_resume else 3
+                    env.ff_credit(k * per_tick - 1)
+                    yield wake
 
     def close(self) -> None:
         """Stop the background flusher (end of run)."""

@@ -34,6 +34,31 @@ ordering:
   scheduled at the current instant (``fast_resume=True``, the
   default; ``fast_resume=False`` keeps the classic round-trip as the
   determinism reference).
+
+Quiescence fast-forward
+-----------------------
+
+``fast_forward=True`` arms a second, stricter closed-form lane on top
+of the fast path: pure delays are *absorbed* — the clock advances
+immediately and the waiting code continues inline — whenever the
+engine can prove the heap round-trip would have been a no-op:
+
+* the caller is running in the last callback of the current dispatch
+  (``_cb_last``, the same gate the inline resume uses), so no sibling
+  callback still expects the old ``now``;
+* no event is scheduled at or before the target instant, so nothing
+  else could have run in between; and
+* the target instant does not overrun the active ``run(until=t)``
+  bound, so a time-bounded run still parks exactly where the classic
+  lane would.
+
+Every absorbed delay is counted in :attr:`Environment.events_absorbed`
+so ``events_processed + events_absorbed`` — the *logical* event total
+reported by :func:`tracked_event_total` — is invariant across the
+fast-forward axis. :meth:`Environment.idle_wait` extends the same
+contract to periodic polling loops: consecutive idle poll ticks whose
+predicate provably cannot change (no dispatch can occur before the
+next foreign event) collapse into one scheduled wake-up.
 """
 
 from __future__ import annotations
@@ -78,8 +103,13 @@ def track_environments(enable: bool) -> None:
 
 
 def tracked_event_total() -> int:
-    """Total events dispatched by environments created while tracking."""
-    return sum(env.events_processed for env in _tracked_envs or ())
+    """Total logical events executed by environments created while
+    tracking: heap dispatches plus closed-form absorptions, so the
+    figure is invariant across the fast-forward axis."""
+    return sum(
+        env.events_processed + env.events_absorbed
+        for env in _tracked_envs or ()
+    )
 
 
 class SimulationError(Exception):
@@ -449,20 +479,38 @@ class Environment:
     resume and timeout-recycling fast paths (see module docstring);
     ``fast_resume=False`` runs the classic schedule-everything loop
     and serves as the determinism reference in tests.
+    ``fast_forward=True`` additionally arms the quiescence
+    fast-forward lane (closed-form delay absorption, see module
+    docstring); it composes with either ``fast_resume`` setting.
     """
 
-    def __init__(self, initial_time: float = 0.0, fast_resume: bool = True):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        fast_resume: bool = True,
+        fast_forward: bool = False,
+    ):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active: Process | None = None
         self._fast_resume = fast_resume
+        self._ff = fast_forward
         self._cb_last = True
+        self._until = float("inf")
         self._timeout_pool: list[Timeout] = []
         #: number of heap events dispatched so far (perf accounting)
         self.events_processed = 0
+        #: number of events the fast-forward lane absorbed in closed
+        #: form (each one a heap dispatch the classic lane would pay)
+        self.events_absorbed = 0
         if _tracked_envs is not None:
             _tracked_envs.append(self)
+
+    @property
+    def fast_forward(self) -> bool:
+        """Whether the quiescence fast-forward lane is armed."""
+        return self._ff
 
     # -- clock -------------------------------------------------------------
     @property
@@ -513,6 +561,93 @@ class Environment:
         self._seq = seq + 1
         heapq.heappush(self._heap, (when, seq, ev))
         return ev
+
+    # -- quiescence fast-forward --------------------------------------------
+    def ff_advance(self, dt: float) -> bool:
+        """Absorb a pure delay in closed form; True if the clock moved.
+
+        Equivalent to dispatching a fresh ``timeout(dt)`` that nothing
+        else observes: allowed only when the caller runs in the last
+        callback of the current dispatch, no event is scheduled at or
+        before ``now + dt`` (strict — a tie would have dispatched
+        first), and the target stays within the active ``run(until=t)``
+        bound. On success the absorbed dispatch is credited to
+        :attr:`events_absorbed`, keeping the logical event total
+        lane-invariant.
+        """
+        if not self._ff or not self._cb_last or dt <= 0:
+            return False
+        t = self._now + dt
+        if t > self._until:
+            return False
+        heap = self._heap
+        if heap and heap[0][0] <= t:
+            return False
+        self._now = t
+        self.events_absorbed += 1
+        return True
+
+    def ff_credit(self, events: int) -> None:
+        """Record ``events`` heap dispatches replayed in closed form.
+
+        Used by cooperative periodic sources (e.g. the WAL flusher's
+        idle-tick absorber) that collapse a run of provably side-effect
+        -replayed wake-ups into one scheduled event.
+        """
+        self.events_absorbed += events
+
+    def ff_absorb_ticks(
+        self, interval: float, max_ticks: int = 4096
+    ) -> tuple[int, Event | None]:
+        """Closed-form run of periodic wake-ups: how many future ticks
+        (``now+i, now+2i, ...``) land strictly before the next scheduled
+        event and within the run bound, plus the event firing at the
+        last of them. Returns ``(0, None)`` when even the first tick
+        could be raced by a foreign event (ties lose: an equal-time
+        event was scheduled earlier and dispatches first).
+
+        Wake instants accumulate iteratively (``wake += interval``) so
+        they stay bit-identical to the tick-by-tick realization. The
+        caller owns replaying the per-tick side effects and crediting
+        the absorbed dispatches via :meth:`ff_credit`.
+        """
+        wake = self._now
+        horizon = self._heap[0][0] if self._heap else float("inf")
+        until = self._until
+        k = 0
+        while k < max_ticks:
+            nxt = wake + interval
+            if nxt >= horizon or nxt > until:
+                break
+            wake = nxt
+            k += 1
+        if k:
+            return k, self.at(wake)
+        return 0, None
+
+    def idle_wait(self, interval: float) -> Event:
+        """One poll tick that fast-forwards across provably idle ticks.
+
+        Drop-in for ``timeout(interval)`` inside state-polling loops of
+        the form ``while pred(): yield env.idle_wait(dt)`` where
+        ``pred`` reads only simulation state (never ``env.now``): when
+        fast-forward is armed and k consecutive wake-ups would land
+        strictly before the next scheduled event, the predicate cannot
+        change in between (state only moves on dispatches), so the loop
+        wakes once at the k-th tick instead.
+        """
+        if interval <= 0:
+            raise ValueError(f"non-positive poll interval {interval}")
+        if not self._ff:
+            return self.timeout(interval)
+        k, ev = self.ff_absorb_ticks(interval)
+        if k > 1:
+            # one dispatch (the returned event) stands in for k ticks
+            self.events_absorbed += k - 1
+            return ev
+        if k == 1:
+            return ev  # type: ignore[return-value]
+        return self.timeout(interval)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         return Process(self, generator, name=name)
@@ -613,18 +748,26 @@ class Environment:
                 raise ValueError(
                     f"until={stop_at} is in the past (now={self._now})"
                 )
-            while heap and heap[0][0] <= stop_at:
-                when, _key, event = heappop(heap)
-                self._now = when
-                dispatched += 1
-                event._run_callbacks()
-                if (
-                    type(event) is Timeout
-                    and getrefcount(event) == 2
-                    and len(pool) < _TIMEOUT_POOL_MAX
-                ):
-                    pool.append(event)
-            self._now = stop_at
+            # the fast-forward lane must not absorb a delay (or replay a
+            # periodic tick) past the run bound: the classic lane would
+            # have parked there with the wait still pending
+            prev_until = self._until
+            self._until = stop_at
+            try:
+                while heap and heap[0][0] <= stop_at:
+                    when, _key, event = heappop(heap)
+                    self._now = when
+                    dispatched += 1
+                    event._run_callbacks()
+                    if (
+                        type(event) is Timeout
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        pool.append(event)
+                self._now = stop_at
+            finally:
+                self._until = prev_until
             return None
         finally:
             self.events_processed += dispatched

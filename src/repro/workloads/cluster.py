@@ -138,7 +138,7 @@ class ClusterWorkload:
 
         def settle():
             while any(s.server.snapshot_in_progress for s in cluster.shards):
-                yield env.timeout(1e-3)
+                yield env.idle_wait(1e-3)
 
         env.run(until=env.process(settle(), name="cluster-settle"))
         return self._report(cluster, measure)

@@ -202,8 +202,10 @@ class ClosedLoopWorkload:
             env.run(until=p)
 
         def settle():
+            # idle_wait: the predicate reads sim state only, so ticks
+            # strictly before the next scheduled event cannot change it
             while system.server.snapshot_in_progress:
-                yield env.timeout(1e-3)
+                yield env.idle_wait(1e-3)
 
         env.run(until=env.process(settle(), name="settle"))
         return self._report(system, measure_from["t"], ftl0, corrected)

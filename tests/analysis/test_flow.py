@@ -246,6 +246,37 @@ def test_slim010_blocking_yield_from_fires():
     assert codes(result) == ["SLIM010"]
 
 
+def test_slim010_fast_forward_resume_points_are_preemptions():
+    # The quiescence fast-forward lane introduced three new shapes of
+    # resume point: ``yield env.idle_wait(...)`` (collapsible poll),
+    # ``yield wake`` of an event bound earlier (the WAL flusher's
+    # absorbed-tick wake), and the guarded ``ev = acct.charge(...);
+    # if ev is not None: yield ev`` idiom. All three are plain
+    # ``ast.Yield`` nodes, so the extractor must keep treating them as
+    # bare (always-blocking) preemptions — fast-forward elides
+    # *dispatches*, never the interleaving opportunity the static race
+    # model has to assume.
+    for bump in (
+        # collapsible poll wakeup
+        "        v = self.value\n"
+        "        yield self.env.idle_wait(1)\n"
+        "        self.value = v + 1\n",
+        # event bound to a name first (flusher 'yield wake' shape)
+        "        v = self.value\n"
+        "        wake = self.env.timeout(1)\n"
+        "        yield wake\n"
+        "        self.value = v + 1\n",
+        # guarded charge: yield happens on only one CFG path
+        "        v = self.value\n"
+        "        ev = self.env.charge(1)\n"
+        "        if ev is not None:\n"
+        "            yield ev\n"
+        "        self.value = v + 1\n",
+    ):
+        result = analyze_sources(_counter_module(bump))
+        assert codes(result) == ["SLIM010"], bump
+
+
 # --------------------------------------------------------------------------
 # SLIM011 — seed provenance
 # --------------------------------------------------------------------------

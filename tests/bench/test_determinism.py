@@ -36,17 +36,20 @@ TINY = replace(
 )
 
 
-def _digest(name: str, *, batched: bool, fast_sim: bool) -> str:
-    scale = replace(TINY, batched=batched, fast_sim=fast_sim)
+def _digest(name: str, *, batched: bool, fast_sim: bool,
+            fast_forward: bool = True) -> str:
+    scale = replace(TINY, batched=batched, fast_sim=fast_sim,
+                    fast_forward=fast_forward)
     report = EXPERIMENTS[name](scale).format()
     return hashlib.sha256(report.encode()).hexdigest()
 
 
 @pytest.mark.parametrize("name", list(EXPERIMENTS))
 def test_batched_fast_path_is_result_invariant(name):
-    """Fast lanes on vs fully off: byte-identical reports."""
-    fast = _digest(name, batched=True, fast_sim=True)
-    slow = _digest(name, batched=False, fast_sim=False)
+    """All fast lanes on vs fully off: byte-identical reports."""
+    fast = _digest(name, batched=True, fast_sim=True, fast_forward=True)
+    slow = _digest(name, batched=False, fast_sim=False,
+                   fast_forward=False)
     assert fast == slow, (
         f"{name}: optimized report diverged from the reference path"
     )
@@ -54,10 +57,45 @@ def test_batched_fast_path_is_result_invariant(name):
 
 @pytest.mark.parametrize("name", ["table1", "figure4"])
 def test_each_lane_is_independently_invariant(name):
-    """The two knobs are independent; each alone must be inert too."""
+    """The three knobs are independent; each alone must be inert too."""
     fast = _digest(name, batched=True, fast_sim=True)
     assert _digest(name, batched=False, fast_sim=True) == fast
     assert _digest(name, batched=True, fast_sim=False) == fast
+    assert _digest(name, batched=True, fast_sim=True,
+                   fast_forward=False) == fast
+
+
+@pytest.mark.parametrize("name", ["table1", "table3"])
+def test_fast_forward_cube(name):
+    """Fast-forward is inert across the whole batched×fast_sim cube —
+    closed-form absorption may never depend on the other lanes for its
+    equivalence argument (their per-tick event counts differ)."""
+    ref = _digest(name, batched=True, fast_sim=True, fast_forward=True)
+    for batched in (True, False):
+        for fast_sim in (True, False):
+            for ff in (True, False):
+                assert _digest(name, batched=batched, fast_sim=fast_sim,
+                               fast_forward=ff) == ref, (
+                    f"{name}: diverged at batched={batched} "
+                    f"fast_sim={fast_sim} fast_forward={ff}"
+                )
+
+
+def test_fast_forward_preserves_logical_event_count():
+    """``events_processed + events_absorbed`` is lane-invariant, so
+    the perf report's sim_events metric means the same thing whichever
+    lane produced it."""
+    import repro.sim.engine as se
+
+    totals = {}
+    for ff in (True, False):
+        se.track_environments(True)
+        try:
+            EXPERIMENTS["table1"](replace(TINY, fast_forward=ff))
+            totals[ff] = se.tracked_event_total()
+        finally:
+            se.track_environments(False)
+    assert totals[True] == totals[False]
 
 
 def test_run_to_run_identical():

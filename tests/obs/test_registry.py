@@ -80,8 +80,8 @@ def test_histogram_reservoir_bounded_and_deterministic():
         return h
 
     a, b = build(), build()
-    assert len(a._reservoir) == 16
-    assert a._reservoir == b._reservoir  # deterministic per-instrument RNG
+    assert len(a.reservoir) == 16
+    assert a.reservoir == b.reservoir  # deterministic per-instrument RNG
     assert a.count == 1000 and a.max == 999.0  # exact stats unaffected
 
 
@@ -165,7 +165,7 @@ def test_reservoir_reproduces_across_interpreter_hash_seeds():
         "h = r.histogram('lat', reservoir=8, op='get', shard='s1')\n"
         "for i in range(500):\n"
         "    h.observe(float(i))\n"
-        "print(h._reservoir)\n"
+        "print(h.reservoir)\n"
     )
     src = Path(__file__).resolve().parents[2] / "src"
     outs = []

@@ -1,0 +1,151 @@
+"""Unit tests for the quiescence fast-forward lane (engine level).
+
+The experiment-level byte-identity proof lives in
+tests/bench/test_determinism.py; these tests pin the primitive
+contracts: when ``ff_advance`` may absorb, how ``idle_wait`` collapses
+poll ticks, and that absorbed events keep the logical event total
+(``events_processed + events_absorbed``) lane-invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.accounting import CpuAccount
+from repro.sim import Environment
+
+
+def test_ff_advance_absorbs_pure_delay():
+    env = Environment(fast_forward=True)
+    seen = []
+
+    def proc():
+        assert env.ff_advance(5.0)  # quiet heap: absorbed inline
+        seen.append(env.now)
+        yield env.timeout(1.0)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [5.0, 6.0]
+    assert env.events_absorbed == 1
+
+
+def test_ff_advance_refuses_earlier_or_equal_event():
+    env = Environment(fast_forward=True)
+
+    def other():
+        yield env.timeout(3.0)
+
+    def proc():
+        assert not env.ff_advance(5.0)  # other's timeout at 3.0 is due
+        assert not env.ff_advance(3.0)  # ties lose: dispatch wins
+        assert env.ff_advance(2.0)      # strictly before the horizon
+        assert env.now == 2.0
+        yield env.timeout(0.5)
+
+    env.process(other())
+    env.process(proc())
+    env.run()
+    assert env.events_absorbed == 1
+
+
+def test_ff_advance_respects_run_until_bound():
+    env = Environment(fast_forward=True)
+
+    def proc():
+        assert not env.ff_advance(5.0)  # would overrun run(until=4)
+        assert env.ff_advance(3.0)
+        yield env.timeout(0.25)
+
+    env.process(proc())
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_ff_disabled_never_absorbs():
+    env = Environment()  # fast_forward defaults off at engine level
+
+    def proc():
+        assert not env.ff_advance(5.0)
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    assert env.events_absorbed == 0 and env.now == 1.0
+
+
+def _poll_run(fast_forward: bool) -> tuple[float, list[float], int]:
+    """A poll loop + a state change at t=0.0105: returns (exit time,
+    wake instants, logical event total)."""
+    env = Environment(fast_forward=fast_forward)
+    state = {"done": False}
+    wakes = []
+
+    def setter():
+        yield env.timeout(0.0105)
+        state["done"] = True
+
+    def poller():
+        while not state["done"]:
+            yield env.idle_wait(1e-3)
+            wakes.append(env.now)
+
+    env.process(setter())
+    env.process(poller())
+    env.run()
+    return env.now, wakes, env.events_processed + env.events_absorbed
+
+
+def test_idle_wait_matches_tick_loop_exactly():
+    t_ff, wakes_ff, total_ff = _poll_run(True)
+    t_cl, wakes_cl, total_cl = _poll_run(False)
+    # same exit instant, bit-for-bit (wake instants accumulate by
+    # repeated addition in both lanes)
+    assert t_ff == t_cl
+    assert total_ff == total_cl
+    # the collapsed lane realizes fewer wakes but its last instants
+    # line up with the classic lane's tail
+    assert wakes_ff[-1] == wakes_cl[-1]
+    assert len(wakes_ff) <= len(wakes_cl)
+
+
+def test_charge_absorbs_when_quiescent():
+    env = Environment(fast_forward=True)
+    acct = CpuAccount(env, "test")
+    seen = []
+
+    def proc():
+        ev = acct.charge("cpu", 2.5)
+        if ev is not None:  # pragma: no cover - absorbed in this setup
+            yield ev
+        seen.append(env.now)
+        yield env.timeout(0.1)
+
+    env.process(proc())
+    env.run()
+    assert seen == [2.5]
+    assert env.events_absorbed == 1
+    assert acct.total_charged() == pytest.approx(2.5)
+
+
+def test_charge_dispatches_when_contended():
+    env = Environment(fast_forward=True)
+
+    def other():
+        yield env.timeout(1.0)
+
+    acct = CpuAccount(env, "test")
+    seen = []
+
+    def proc():
+        ev = acct.charge("cpu", 2.5)
+        if ev is not None:
+            yield ev
+        seen.append(env.now)
+
+    env.process(other())
+    env.process(proc())
+    env.run()
+    assert seen == [2.5]
+    assert env.events_absorbed == 0  # real timeout, dispatched
