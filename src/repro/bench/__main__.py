@@ -7,6 +7,8 @@ Usage::
     python -m repro.bench all [--scale test|bench|prod] [--jobs N]
     python -m repro.bench table1 --profile 25   # cProfile hotspots
     python -m repro.bench perf [--out BENCH_perf.json]
+    python -m repro.bench sweep --comprehensive --scale tiny --jobs 4
+    python -m repro.bench tune --workload cluster --scale tiny
 
 Reports are deterministic: the same tree, scale, and experiment set
 produce a byte-identical report file whatever ``--jobs`` is (wall-clock
@@ -49,6 +51,119 @@ def _run_experiment(name: str, scale_name: str, sanitize: bool,
     return text, result.shapes_hold, elapsed
 
 
+def _sweep_main(argv) -> int:
+    """The ``sweep`` subcommand: map the design space, flag its cliffs.
+
+    Per grid: a CSV of every (params, measurements) row, top-N
+    best/worst tables, knife-edge detection over adjacent grid points,
+    and heatmap panels — all byte-deterministic whatever ``--jobs``
+    (wall timings stderr-only, rows in cartesian order, cached points
+    indistinguishable from fresh ones).
+    """
+    from repro.bench.experiments import sweep_grids
+    from repro.bench.plots import sweep_panels
+    from repro.bench.report import format_top_tables
+    from repro.bench.sweep import (
+        detect_knife_edges,
+        format_knife_edges,
+        run_grid,
+        write_csv,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench sweep",
+        description="Design-space exploration: cartesian grids over RU "
+                    "size, PID policy, GC watermarks, WAL policy, shard "
+                    "count, and value size.",
+    )
+    parser.add_argument("--comprehensive", action="store_true",
+                        help="run every registered grid")
+    parser.add_argument("--grid", action="append", default=None,
+                        metavar="NAME",
+                        help="run one named grid (repeatable); "
+                             "see --list")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered grids and exit")
+    parser.add_argument("--scale", default="tiny",
+                        help="scale preset: tiny (default) | test | "
+                             "bench | prod")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="grid points in N parallel processes "
+                             "(output is identical whatever N)")
+    parser.add_argument("--out-dir", default="out/sweep",
+                        help="CSV/report directory (default: out/sweep)")
+    parser.add_argument("--top", type=int, default=5,
+                        help="rows in the best/worst tables")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute even on cache hit")
+    parser.add_argument("--cache-dir",
+                        default=str(result_cache.DEFAULT_CACHE_DIR),
+                        help="result cache location (default: out/cache)")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale)
+    grids = sweep_grids(scale.name)
+    if args.list:
+        for name, grid in grids.items():
+            print(f"{name}: {grid.size} points over "
+                  f"{'x'.join(str(len(v)) for v in grid.axes.values())} "
+                  f"({', '.join(grid.axes)})")
+        return 0
+    if args.comprehensive:
+        names = list(grids)
+    elif args.grid:
+        names = list(dict.fromkeys(args.grid))
+        for name in names:
+            if name not in grids:
+                print(f"unknown grid {name!r}; try --list",
+                      file=sys.stderr)
+                return 2
+    else:
+        print("choose --comprehensive or --grid NAME (see --list)",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache_dir = None if args.no_cache else args.cache_dir
+    chunks = []
+    for name in names:
+        grid = grids[name]
+        t0 = time.perf_counter()
+        result = run_grid(grid, scale, jobs=args.jobs,
+                          cache_dir=cache_dir, refresh=args.refresh)
+        elapsed = time.perf_counter() - t0
+        print(f"({name}: {grid.size} points, {elapsed:.1f}s wall)",
+              file=sys.stderr)
+        csv_path = out_dir / f"{name}_{scale.name}.csv"
+        write_csv(result, csv_path)
+        edges = detect_knife_edges(result, grid.edges,
+                                   axes=dict(grid.axes))
+        text = "\n".join([
+            f"== Sweep: {name} @ {scale.name} "
+            f"({grid.size} points) ==",
+            grid.description, "",
+            result.format(), "",
+            format_top_tables(result, grid.objective, n=args.top,
+                              maximize=grid.maximize), "",
+            "Knife edges (adjacent points, metric jump >= factor):",
+            format_knife_edges(edges), "",
+            sweep_panels(result, grid.panels), "",
+            f"(CSV: {csv_path})", "",
+        ])
+        chunks.append(text)
+        print(text)
+    report_path = out_dir / f"sweep_{scale.name}_report.txt"
+    report_path.write_text("\n".join(chunks))
+    print(f"(report written to {report_path})", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -56,6 +171,12 @@ def main(argv=None) -> int:
         from repro.bench.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    if argv and argv[0] == "tune":
+        from repro.bench.tune import main as tune_main
+
+        return tune_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -63,7 +184,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiments", nargs="+", metavar="experiment",
                         help="experiment ids (e.g. table3 figure4), "
-                             "'all', 'list', or 'perf'")
+                             "'all', 'list', 'perf', 'sweep', or 'tune'")
     parser.add_argument("--scale", default="bench",
                         help="scale preset: test | bench (default) | prod")
     parser.add_argument("--out", default=None,

@@ -1,16 +1,21 @@
-"""On-disk result cache for regenerated experiments.
+"""On-disk result cache for regenerated experiments and sweep points.
 
 Every experiment is a pure function of (experiment name, scale
 configuration, source tree), so its report can be cached and replayed.
-The key digests all three inputs; any edit under ``src/repro`` — or any
-scale-field change — misses and recomputes, which keeps the cache
-impossible to poison by code drift.
+A sweep grid point is a pure function of one more input — the point's
+full parameter dict — so its measurement dict caches the same way. The
+key digests all inputs; any edit under ``src/repro`` — or any scale- or
+parameter-field change — misses and recomputes, which keeps the cache
+impossible to poison by code drift and makes two grid points of the
+same experiment impossible to collide (each parameter assignment gets
+its own key).
 
 Entries are single JSON files under ``out/cache/`` carrying the exact
-report text, the shape-check verdict, and a self-checksum. A corrupt or
-truncated entry (interrupted write, disk mishap) fails validation and
-is deleted, so the caller transparently recomputes — the cache can only
-ever cost a miss, never a wrong result.
+report text (or the exact measurement dict), the shape-check verdict,
+and a self-checksum. A corrupt or truncated entry (interrupted write,
+disk mishap) fails validation and is deleted, so the caller
+transparently recomputes — the cache can only ever cost a miss, never a
+wrong result.
 """
 
 from __future__ import annotations
@@ -19,14 +24,16 @@ import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
+from typing import Any
 
 __all__ = ["DEFAULT_CACHE_DIR", "code_digest", "cache_key",
-           "load", "store"]
+           "load", "store", "load_values", "store_values"]
 
 DEFAULT_CACHE_DIR = Path("out/cache")
 
 #: bump to invalidate every existing entry on format changes
-_FORMAT_VERSION = 1
+#: (v2: keys carry the sweep-point parameter dict)
+_FORMAT_VERSION = 2
 
 _code_digest: str | None = None
 
@@ -53,12 +60,21 @@ def code_digest() -> str:
     return _code_digest
 
 
-def cache_key(experiment: str, scale) -> str:
-    """Digest identifying one (experiment, scale, source tree) cell."""
+def cache_key(experiment: str, scale,
+              params: dict[str, Any] | None = None) -> str:
+    """Digest identifying one (experiment, scale, params, tree) cell.
+
+    ``params`` is the sweep point's *full* parameter dict; it is part
+    of the key so two grid points of the same experiment and scale can
+    never collide. ``None`` (a whole-experiment report, no grid) and
+    ``{}`` hash differently from any non-empty parameter assignment.
+    """
     ident = {
         "version": _FORMAT_VERSION,
         "experiment": experiment,
         "scale": asdict(scale),
+        "params": (None if params is None
+                   else {k: params[k] for k in sorted(params)}),
         "code": code_digest(),
     }
     blob = json.dumps(ident, sort_keys=True, default=repr)
@@ -101,6 +117,55 @@ def store(key: str, experiment: str, report: str, shapes_hold: bool,
         "report": report,
         "shapes_hold": bool(shapes_hold),
         "sha256": hashlib.sha256(report.encode()).hexdigest(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    tmp.replace(path)
+    return path
+
+
+def _values_checksum(values: dict[str, Any]) -> str:
+    blob = json.dumps(values, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_values(key: str,
+                cache_dir: str | Path = DEFAULT_CACHE_DIR
+                ) -> dict[str, Any] | None:
+    """Return a cached sweep-point measurement dict, or None on miss.
+
+    The same corruption discipline as :func:`load`: anything malformed
+    is deleted and reported as a miss. JSON round-trips floats exactly
+    (shortest-repr), so a cache hit is byte-identical to a recompute in
+    every downstream CSV/report rendering.
+    """
+    path = Path(cache_dir) / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        values = payload["values"]
+        checksum = payload["sha256"]
+        if not isinstance(values, dict):
+            raise ValueError("wrong field types")
+        if _values_checksum(values) != checksum:
+            raise ValueError("checksum mismatch")
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        path.unlink(missing_ok=True)
+        return None
+    return values
+
+
+def store_values(key: str, experiment: str, values: dict[str, Any],
+                 cache_dir: str | Path = DEFAULT_CACHE_DIR) -> Path:
+    """Write one sweep-point entry; returns its path."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{key}.json"
+    payload = {
+        "experiment": experiment,
+        "values": values,
+        "sha256": _values_checksum(values),
     }
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(payload, indent=1))

@@ -22,6 +22,8 @@ __all__ = [
     "table1", "table2", "table3", "table4", "table5",
     "figure2a", "figure2b", "figure4", "figure5", "cluster",
     "tailtrace", "crashmatrix", "openloop", "EXPERIMENTS",
+    "single_sweep_config", "single_sweep_point",
+    "cluster_sweep_config", "cluster_sweep_point", "sweep_grids",
 ]
 
 MB = 1024 * 1024
@@ -1310,6 +1312,225 @@ def openloop(scale: Scale = BENCH_SCALE) -> ExperimentResult:
     _maybe_export_curve(sweep + [mmpp_pt, ycsb_b_pt, slow_pt, block_pt,
                                  shed_pt, drop_pt, traced_pt], tracer)
     return result
+
+
+# --------------------------------------------------------------------------
+# Design-space sweep grids — parameterized runners for repro.bench.sweep
+# --------------------------------------------------------------------------
+#
+# The paper reports point estimates (one RU size, one placement policy,
+# one GC watermark); these grids map the neighborhoods around them.
+# Every runner is a module-level function of one ``params`` dict (plus
+# a scale name bound via functools.partial) so it pickles into the
+# ``--jobs`` process pool, and every runner returns plain floats so
+# rows cache, CSV, and render deterministically.
+
+#: sweep op volume per cluster point — same pinned-regime reasoning as
+#: the cluster experiment: scales raise duration, never instantaneous
+#: pressure on the fixed device
+_SWEEP_OPS_CAP = 2 * _CLUSTER_OPS_EACH
+
+
+def _sweep_score(rps: float, waf: float, p999_us: float) -> float:
+    """The tuner's default objective, higher = better.
+
+    Throughput per unit of device wear, discounted by tail latency:
+    ``rps / (waf^2 * (1 + p999_ms))``. WAF enters squared because
+    write amplification costs both bandwidth *and* device lifetime;
+    the tail enters as a soft penalty in milliseconds so microsecond
+    noise cannot dominate a real throughput difference.
+    """
+    return rps / (waf * waf * (1.0 + p999_us / 1e3))
+
+
+def single_sweep_config(scale: Scale, params: dict):
+    """One single-instance SlimIO config from a grid point.
+
+    Axes: ``ru_pages`` (pages per block — the Reclaim Unit size knob),
+    ``gc_stop_segments`` (GC watermark; trigger pinned at 3 so the
+    axis moves only how far past the trigger GC reclaims),
+    ``wal_policy``, and ``value_size`` (consumed by the workload, not
+    the config).
+    """
+    from dataclasses import replace
+
+    from repro.flash import FlashGeometry, FtlConfig
+
+    geometry = FlashGeometry.scaled(
+        mb=scale.small_device_mb, channels=scale.channels,
+        dies_per_channel=scale.dies_per_channel,
+        pages_per_block=int(params["ru_pages"]),
+    )
+    ftl = FtlConfig(op_ratio=0.08, gc_trigger_segments=3,
+                    gc_stop_segments=int(params["gc_stop_segments"]),
+                    gc_reserve_segments=2)
+    cfg = scale.system_config(
+        gc_pressure=True, policy=LoggingPolicy(params["wal_policy"]))
+    return replace(cfg, geometry=geometry, ftl=ftl)
+
+
+def single_sweep_point(params: dict, scale_name: str = "tiny") -> dict:
+    """Measure one single-instance grid point (picklable work unit)."""
+    from repro.bench.scales import get_scale
+
+    scale = get_scale(scale_name)
+    system = build_slimio(config=single_sweep_config(scale, params))
+    workload = scale.redis_bench(value_size=int(params["value_size"]),
+                                 snapshot_at_fraction=0.5)
+    rep = workload.run(system, warmup_ops=scale.warmup_ops)
+    stats = system.device.ftl.stats
+    system.stop()
+    p999_us = rep.set_p999 * 1e6
+    return {
+        "rps": rep.rps,
+        "p999_us": p999_us,
+        "waf": rep.waf,
+        "waf_excess": rep.waf - 1.0,
+        "gc_copied": float(stats.gc_pages_copied),
+        "erases": float(stats.segments_erased),
+        "snap_ms": rep.mean_snapshot_time * 1e3,
+        "score": _sweep_score(rep.rps, rep.waf, p999_us),
+    }
+
+
+def cluster_sweep_config(scale: Scale, params: dict):
+    """One multi-tenant cluster config from a grid point.
+
+    The device is the cluster experiment's pinned 22 MB / 8-PID part
+    (multi-tenant pressure on ONE fixed piece of hardware), with the
+    grid moving the Reclaim Unit size (``ru_pages``), the PID sharing
+    policy, the GC stop watermark, the WAL policy, and the tenant
+    count. ``dedicated`` at shard counts that don't fit 8 PIDs is
+    *infeasible by design* — those corners come back as error rows,
+    mapping the feasible region's boundary.
+    """
+    from dataclasses import replace
+
+    from repro.cluster import ClusterConfig
+    from repro.cluster.pids import SharingMode
+    from repro.flash import FlashGeometry, FtlConfig
+
+    geometry = FlashGeometry.scaled(
+        mb=_CLUSTER_DEVICE_MB, channels=4, dies_per_channel=8,
+        pages_per_block=int(params["ru_pages"]),
+    )
+    ftl = FtlConfig(op_ratio=0.08, gc_trigger_segments=3,
+                    gc_stop_segments=int(params["gc_stop_segments"]),
+                    gc_reserve_segments=2)
+    sys_cfg = scale.system_config(
+        gc_pressure=True, policy=LoggingPolicy(params["wal_policy"]))
+    sys_cfg = replace(
+        sys_cfg,
+        geometry=geometry,
+        ftl=ftl,
+        snapshot_fraction=0.45,
+        server=replace(sys_cfg.server,
+                       wal_snapshot_trigger_bytes=_CLUSTER_WAL_TRIGGER),
+    )
+    return ClusterConfig(
+        num_shards=int(params["shards"]), design="slimio", num_pids=8,
+        sharing=SharingMode(params["pid_policy"]), system=sys_cfg,
+    )
+
+
+def cluster_sweep_point(params: dict, scale_name: str = "tiny") -> dict:
+    """Measure one cluster grid point (picklable work unit)."""
+    from repro.bench.scales import get_scale
+    from repro.cluster import build_cluster
+    from repro.workloads import ClusterWorkload
+
+    scale = get_scale(scale_name)
+    cl = build_cluster(config=cluster_sweep_config(scale, params))
+    workload = ClusterWorkload(scale.ycsb_a(
+        clients=_CLUSTER_CLIENTS,
+        total_ops=min(2 * scale.ycsb_ops, _SWEEP_OPS_CAP),
+        key_count=_CLUSTER_KEYS,
+        value_size=int(params["value_size"]),
+        snapshot_at_fraction=0.25,
+    ))
+    rep = workload.run(cl, warmup_ops=scale.warmup_ops)
+    stats = cl.device.ftl.stats
+    cl.stop()
+    a = rep.aggregate
+    waf = max(rep.shard_waf)
+    p999_us = a.set_p999 * 1e6
+    return {
+        "rps": a.rps,
+        "p999_us": p999_us,
+        "waf": waf,
+        "waf_excess": waf - 1.0,
+        "gc_copied": float(stats.gc_pages_copied),
+        "erases": float(stats.segments_erased),
+        "pid_mode": rep.pid_allocation.get("mode", "-"),
+        "score": _sweep_score(a.rps, waf, p999_us),
+    }
+
+
+def sweep_grids(scale_name: str = "tiny") -> dict:
+    """The named design-space grids at one scale.
+
+    ``comprehensive`` mode runs all of them; the auto-tuner searches
+    one. Axis *order* matters: knife-edge adjacency follows it.
+    """
+    import functools
+
+    from repro.bench.sweep import EdgeSpec, GridSpec
+
+    single = GridSpec(
+        name="single",
+        description=(
+            "single-instance SlimIO: Reclaim Unit size x GC watermark "
+            "x WAL policy x value size (redis-benchmark, GC pressure)"
+        ),
+        axes={
+            "ru_pages": (4, 8),
+            "gc_stop_segments": (5, 6),
+            "wal_policy": ("periodical", "always"),
+            "value_size": (1024, 4096),
+        },
+        runner=functools.partial(single_sweep_point,
+                                 scale_name=scale_name),
+        edges=(
+            EdgeSpec("gc_copied", factor=2.0, min_jump=64.0),
+            EdgeSpec("waf_excess", factor=2.0, min_jump=0.02),
+            EdgeSpec("p999_us", factor=2.0, min_jump=100.0),
+        ),
+        panels=(
+            ("gc_stop_segments", "ru_pages", "waf"),
+            ("value_size", "wal_policy", "rps"),
+        ),
+        config_builder=single_sweep_config,
+    )
+    cluster_grid = GridSpec(
+        name="cluster",
+        description=(
+            "multi-tenant SlimIO on the pinned 22 MB / 8-PID device: "
+            "RU size x PID policy x GC watermark x WAL policy x shard "
+            "count x value size (YCSB-A)"
+        ),
+        axes={
+            "ru_pages": (4, 8),
+            "pid_policy": ("dedicated", "collapse", "share-wal"),
+            "gc_stop_segments": (5, 6),
+            "wal_policy": ("periodical", "always"),
+            "shards": (2, 4),
+            "value_size": (1024, 4096),
+        },
+        runner=functools.partial(cluster_sweep_point,
+                                 scale_name=scale_name),
+        edges=(
+            EdgeSpec("gc_copied", factor=2.0, min_jump=64.0),
+            EdgeSpec("waf_excess", factor=2.0, min_jump=0.02),
+            EdgeSpec("p999_us", factor=2.0, min_jump=100.0),
+        ),
+        panels=(
+            ("gc_stop_segments", "pid_policy", "waf"),
+            ("shards", "pid_policy", "rps"),
+            ("value_size", "ru_pages", "gc_copied"),
+        ),
+        config_builder=cluster_sweep_config,
+    )
+    return {"single": single, "cluster": cluster_grid}
 
 
 EXPERIMENTS = {

@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import Any
 
-__all__ = ["format_table", "ExperimentResult"]
+__all__ = ["format_table", "format_dict_rows", "format_top_tables",
+           "ExperimentResult"]
 
 
 def _fmt(value: Any) -> str:
@@ -34,6 +35,37 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
     for row in cells:
         out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_dict_rows(headers: Sequence[str],
+                     rows: Sequence[dict]) -> str:
+    """Render dict rows against a fixed header set, blanks for
+    missing cells — safe for heterogeneous (success + error) rows."""
+    return format_table(headers, [[r.get(h, "") for h in headers]
+                                  for r in rows])
+
+
+def format_top_tables(result, metric: str, n: int = 5,
+                      maximize: bool = True) -> str:
+    """Best-N and worst-N slices of a sweep, ranked by ``metric``.
+
+    ``result`` is a :class:`repro.bench.sweep.SweepResult`. Only
+    successful rows rank; the infeasible-corner count is reported in
+    the footer so a sweep that silently lost half its grid to errors
+    cannot read as full coverage.
+    """
+    headers = result.headers()
+    best = result.top(metric, n=n, maximize=maximize)
+    worst = result.top(metric, n=n, maximize=not maximize)
+    ok = len(result.ok_rows())
+    err = len(result.rows) - ok
+    out = [f"Top {len(best)} by {metric} "
+           f"({'max' if maximize else 'min'} first):",
+           format_dict_rows(headers, best), "",
+           f"Bottom {len(worst)} by {metric}:",
+           format_dict_rows(headers, worst), "",
+           f"({ok} feasible points, {err} infeasible)"]
     return "\n".join(out)
 
 

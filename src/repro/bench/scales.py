@@ -24,7 +24,7 @@ from repro.flash import FlashGeometry, FtlConfig, NandTiming
 from repro.imdb import ServerConfig
 from repro.workloads import RedisBenchWorkload, YcsbAWorkload
 
-__all__ = ["Scale", "TEST_SCALE", "BENCH_SCALE", "PROD_SCALE"]
+__all__ = ["Scale", "TINY_SCALE", "TEST_SCALE", "BENCH_SCALE", "PROD_SCALE"]
 
 MB = 1024 * 1024
 
@@ -138,6 +138,33 @@ class Scale:
         return YcsbAWorkload(**args)
 
 
+#: ``TINY_SCALE`` exists for design-space sweeps (``python -m
+#: repro.bench sweep``): a comprehensive grid runs ~100 systems per
+#: sweep, so each point must finish in well under a second while still
+#: generating enough write volume to wrap the sweep's pinned devices
+#: into the GC regime where the interesting cliffs live.
+TINY_SCALE = Scale(
+    name="tiny",
+    small_device_mb=24,
+    large_device_mb=64,
+    channels=4,
+    dies_per_channel=8,
+    pages_per_block=8,
+    redis_clients=8,
+    redis_ops=6_000,
+    redis_keys=300,
+    redis_value=4096,
+    ycsb_clients=8,
+    ycsb_ops=8_000,
+    ycsb_keys=600,
+    ycsb_value=2048,
+    wal_trigger_bytes=3 * MB,
+    warmup_ops=1_000,
+    gc_heavy_device_mb=22,
+    gc_heavy_trigger_bytes=2 * MB,
+    snapshot_chunk_entries=32,
+)
+
 TEST_SCALE = Scale(
     name="test",
     small_device_mb=32,
@@ -211,7 +238,8 @@ PROD_SCALE = Scale(
 
 
 def get_scale(name: str) -> Scale:
-    scales = {"test": TEST_SCALE, "bench": BENCH_SCALE, "prod": PROD_SCALE}
+    scales = {"tiny": TINY_SCALE, "test": TEST_SCALE, "bench": BENCH_SCALE,
+              "prod": PROD_SCALE}
     if name not in scales:
         raise KeyError(f"unknown scale {name!r}; choose from {sorted(scales)}")
     return scales[name]

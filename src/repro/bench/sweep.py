@@ -4,6 +4,26 @@ For sensitivity studies beyond the paper's point estimates — e.g. how
 the SlimIO advantage moves with value size, client count, or device
 over-provisioning. Results come back as rows of plain dicts and can be
 dumped to CSV for external analysis.
+
+Beyond ad-hoc grids, this module is the engine of the design-space
+exploration subsystem (``python -m repro.bench sweep``):
+
+* :class:`GridSpec` names a cartesian grid plus the module-level runner
+  that measures one point (picklable, so grids parallelize over the
+  ``--jobs`` process pool);
+* :class:`CachedRunner` wraps any runner in the on-disk result cache,
+  keyed on the *full* parameter dict (plus scale and code digest), so
+  re-sweeps and the auto-tuner replay cached points for free;
+* :func:`detect_knife_edges` flags adjacent grid points whose metric
+  jumps by more than a factor — the ``gc_stop_segments`` 6→5 cliff
+  found in PR 4 is the motivating example: point estimates hide these
+  edges, grids expose them.
+
+A sweep that mixes successful rows with ``on_error="skip"`` failure
+rows (infeasible corners record an ``error`` column and *no*
+measurement keys) stays fully renderable: ``format()``, ``column()``,
+``write_csv()`` and ``best()`` all union headers across rows and treat
+missing cells as blank.
 """
 
 from __future__ import annotations
@@ -12,10 +32,14 @@ import csv
 import itertools
 from dataclasses import dataclass, field
 from pathlib import Path
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from typing import Any
 
-__all__ = ["SweepResult", "sweep", "write_csv"]
+__all__ = [
+    "SweepResult", "sweep", "write_csv", "GridSpec", "EdgeSpec",
+    "KnifeEdge", "CachedRunner", "run_grid", "detect_knife_edges",
+    "format_knife_edges",
+]
 
 #: runner(params) -> dict of measured values
 Runner = Callable[[dict[str, Any]], dict[str, float]]
@@ -28,8 +52,35 @@ class SweepResult:
     param_names: list[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
 
+    def headers(self) -> list[str]:
+        """Union of every row's keys, first-seen order.
+
+        Success rows and ``on_error="skip"`` error rows carry different
+        key sets; a single row can never be trusted to name them all.
+        """
+        headers: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in headers:
+                    headers.append(key)
+        return headers
+
     def column(self, name: str) -> list[Any]:
-        return [r[name] for r in self.rows]
+        """One column across all rows; ``None`` where a row (e.g. an
+        error row) has no such cell."""
+        return [r.get(name) for r in self.rows]
+
+    def ok_rows(self) -> list[dict[str, Any]]:
+        """The successful rows (no ``error`` column)."""
+        return [r for r in self.rows if "error" not in r]
+
+    def axis_values(self, name: str) -> list[Any]:
+        """Distinct values of one parameter, first-seen (= grid) order."""
+        seen: list[Any] = []
+        for row in self.rows:
+            if name in row and row[name] not in seen:
+                seen.append(row[name])
+        return seen
 
     def best(self, metric: str, maximize: bool = True) -> dict[str, Any]:
         # rows recorded by on_error="skip" carry an "error" column and
@@ -44,13 +95,24 @@ class SweepResult:
         pick = max if maximize else min
         return pick(candidates, key=lambda r: r[metric])
 
+    def top(self, metric: str, n: int = 5,
+            maximize: bool = True) -> list[dict[str, Any]]:
+        """The ``n`` best successful rows by ``metric``, best first."""
+        candidates = [r for r in self.rows
+                      if "error" not in r and metric in r]
+        return sorted(candidates, key=lambda r: r[metric],
+                      reverse=maximize)[:n]
+
     def format(self) -> str:
         from repro.bench.report import format_table
 
         if not self.rows:
             return "(empty sweep)"
-        headers = list(self.rows[0].keys())
-        return format_table(headers, [[r[h] for h in headers]
+        # union the headers: indexing every row with rows[0]'s keys
+        # raises KeyError the moment a sweep mixes success and error
+        # rows, and drops the "error" column when rows[0] succeeded
+        headers = self.headers()
+        return format_table(headers, [[r.get(h, "") for h in headers]
                                       for r in self.rows])
 
 
@@ -122,16 +184,235 @@ def sweep(grid: dict[str, Iterable[Any]], runner: Runner,
 
 
 def write_csv(result: SweepResult, path: str | Path) -> None:
-    """Dump a sweep to CSV (union of all row keys, stable order)."""
+    """Dump a sweep to CSV (union of all row keys, stable order).
+
+    Heterogeneous rows are expected — an ``on_error="skip"`` sweep
+    mixes measurement rows with error rows — so the writer takes the
+    union of keys and renders every missing cell as an empty string
+    (``restval=""``) rather than dropping or shifting columns.
+    """
     if not result.rows:
         raise ValueError("empty sweep")
-    headers: list[str] = []
-    for row in result.rows:
-        for key in row:
-            if key not in headers:
-                headers.append(key)
     with open(path, "w", newline="", encoding="utf-8") as fh:
-        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer = csv.DictWriter(fh, fieldnames=result.headers(),
+                                restval="")
         writer.writeheader()
         for row in result.rows:
             writer.writerow(row)
+
+
+# --------------------------------------------------------------------------
+# design-space grids
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """Knife-edge detection policy for one metric.
+
+    ``factor`` is the multiplicative jump between *adjacent* grid
+    points that counts as a cliff; ``min_jump`` is an absolute floor on
+    the difference, so metrics hovering near zero don't flag noise
+    (0.001 → 0.003 is a 3x ratio nobody should page over).
+    """
+
+    metric: str
+    factor: float = 2.0
+    min_jump: float = 0.0
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One named cartesian grid plus how to run and read it.
+
+    ``runner`` must be a picklable callable ``(params) -> dict`` —
+    a module-level function or a ``functools.partial`` over one — so
+    the grid parallelizes across the ``--jobs`` process pool.
+    """
+
+    name: str
+    #: axis name -> ordered values (adjacency for knife-edge detection
+    #: follows this order)
+    axes: dict[str, Sequence[Any]]
+    runner: Runner
+    #: metric the tuner and the top-N tables rank by, + direction
+    objective: str = "score"
+    maximize: bool = True
+    #: cliff detectors evaluated over every axis
+    edges: tuple[EdgeSpec, ...] = ()
+    #: heatmap panels rendered into the report: (x axis, y axis, metric)
+    panels: tuple[tuple[str, str, str], ...] = ()
+    description: str = ""
+    #: rebuilds one point's config object — ``(scale, params) ->
+    #: SystemConfig | ClusterConfig`` — for the tuner's recommendation
+    #: export; None = the grid cannot emit a recommended config
+    config_builder: Callable[[Any, dict[str, Any]], Any] | None = None
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for values in self.axes.values():
+            out *= len(values)
+        return out
+
+
+class CachedRunner:
+    """Wrap a grid runner in the on-disk result cache.
+
+    The key is the *full parameter dict* plus the grid name, scale, and
+    code digest (see :func:`repro.bench.cache.cache_key`), so two grid
+    points of the same experiment can never collide. Only successful
+    measurements are cached; infeasible points re-raise every time
+    (they fail fast at build validation, and caching failures would
+    hide fixes).
+
+    Instances hold only picklable state (the inner runner, names,
+    paths), so a cached grid still fans out over the process pool; each
+    worker writes its own entries (distinct params -> distinct files).
+    """
+
+    def __init__(self, runner: Runner, grid_name: str, scale,
+                 cache_dir: str | Path | None, refresh: bool = False):
+        self.runner = runner
+        self.grid_name = grid_name
+        self.scale = scale
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.refresh = refresh
+
+    def __call__(self, params: dict[str, Any]) -> dict[str, float]:
+        from repro.bench import cache as result_cache
+
+        if self.cache_dir is None:
+            return self.runner(dict(params))
+        key = result_cache.cache_key(self.grid_name, self.scale, params)
+        if not self.refresh:
+            hit = result_cache.load_values(key, self.cache_dir)
+            if hit is not None:
+                return hit
+        values = self.runner(dict(params))
+        result_cache.store_values(key, self.grid_name, values,
+                                  self.cache_dir)
+        return values
+
+
+def run_grid(grid: GridSpec, scale, jobs: int = 1,
+             cache_dir: str | Path | None = None,
+             refresh: bool = False) -> SweepResult:
+    """Run one :class:`GridSpec` through the (optionally cached) pool.
+
+    Infeasible corners (e.g. ``dedicated`` PIDs on a shard count that
+    does not fit the device) are recorded as error rows, not raised:
+    a design-space sweep's job is to map the feasible region, and the
+    mixed result exercises exactly the heterogeneous-row rendering
+    this module guarantees.
+    """
+    runner = CachedRunner(grid.runner, grid.name, scale, cache_dir,
+                          refresh)
+    return sweep(dict(grid.axes), runner, on_error="skip", jobs=jobs)
+
+
+# --------------------------------------------------------------------------
+# knife-edge detection
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KnifeEdge:
+    """One detected cliff: a metric jumping across two *adjacent*
+    values of one axis, every other parameter held fixed."""
+
+    param: str
+    low_value: Any
+    high_value: Any
+    #: the other parameters both points share
+    fixed: tuple[tuple[str, Any], ...]
+    metric: str
+    low_metric: float
+    high_metric: float
+
+    @property
+    def ratio(self) -> float:
+        """Jump magnitude, always >= 1 (inf when one side is zero)."""
+        lo, hi = sorted((abs(self.low_metric), abs(self.high_metric)))
+        if lo == 0.0:
+            return float("inf")
+        return hi / lo
+
+
+def detect_knife_edges(result: SweepResult,
+                       edges: Sequence[EdgeSpec],
+                       axes: dict[str, Sequence[Any]] | None = None,
+                       ) -> list[KnifeEdge]:
+    """Flag adjacent grid points whose metric jumps by > ``factor``.
+
+    Adjacency is along one axis at a time (the axis order given by
+    ``axes`` or recovered from the sweep's cartesian row order), with
+    every other parameter identical — the discrete analogue of a large
+    partial derivative. Error rows and rows missing the metric are
+    skipped; a jump from exactly zero to anything above ``min_jump``
+    is an infinite-ratio edge (the 6→5 ``gc_stop_segments`` cliff is
+    literally "copy-free vs copying").
+    """
+    names = result.param_names
+    if axes is None:
+        axes = {n: result.axis_values(n) for n in names}
+    index = {}
+    for row in result.rows:
+        if "error" in row:
+            continue
+        point = tuple(row.get(n) for n in names)
+        index[point] = row
+    found: list[KnifeEdge] = []
+    for spec in edges:
+        for ai, axis in enumerate(names):
+            values = list(axes.get(axis, ()))
+            for lo_v, hi_v in zip(values, values[1:]):
+                for point, row in index.items():
+                    if point[ai] != lo_v:
+                        continue
+                    other = point[:ai] + (hi_v,) + point[ai + 1:]
+                    mate = index.get(other)
+                    if mate is None:
+                        continue
+                    if spec.metric not in row or spec.metric not in mate:
+                        continue
+                    a = float(row[spec.metric])
+                    b = float(mate[spec.metric])
+                    if abs(b - a) < spec.min_jump:
+                        continue
+                    lo, hi = sorted((abs(a), abs(b)))
+                    if lo != 0.0 and hi / lo < spec.factor:
+                        continue
+                    fixed = tuple(
+                        (n, point[i]) for i, n in enumerate(names)
+                        if i != ai
+                    )
+                    found.append(KnifeEdge(
+                        param=axis, low_value=lo_v, high_value=hi_v,
+                        fixed=fixed, metric=spec.metric,
+                        low_metric=a, high_metric=b,
+                    ))
+    found.sort(key=lambda e: (-min(e.ratio, 1e18), e.metric, e.param,
+                              str(e.fixed)))
+    return found
+
+
+def format_knife_edges(edges: Sequence[KnifeEdge],
+                       limit: int = 10) -> str:
+    """Render detected cliffs as an aligned table (worst first)."""
+    from repro.bench.report import format_table
+
+    if not edges:
+        return "(no knife edges detected)"
+    rows = []
+    for e in edges[:limit]:
+        ratio = "inf" if e.ratio == float("inf") else f"{e.ratio:.2f}x"
+        fixed = " ".join(f"{k}={v}" for k, v in e.fixed)
+        rows.append([e.param, f"{e.low_value}->{e.high_value}", e.metric,
+                     e.low_metric, e.high_metric, ratio, fixed])
+    table = format_table(
+        ["axis", "step", "metric", "low", "high", "jump", "holding"],
+        rows,
+    )
+    more = len(edges) - limit
+    if more > 0:
+        table += f"\n... and {more} more"
+    return table

@@ -1,8 +1,16 @@
 """Parameter sweep utility tests."""
 
+import csv
+
 import pytest
 
-from repro.bench.sweep import SweepResult, sweep, write_csv
+from repro.bench.sweep import (
+    GridSpec,
+    SweepResult,
+    run_grid,
+    sweep,
+    write_csv,
+)
 
 
 def fake_runner(params):
@@ -92,6 +100,120 @@ def test_write_csv(tmp_path):
     assert "1,False,10" in text
     with pytest.raises(ValueError):
         write_csv(SweepResult(param_names=[]), p)
+
+
+# --------------------------------------------------------------------------
+# mixed success/error row regressions
+# --------------------------------------------------------------------------
+
+def mixed_result() -> SweepResult:
+    """A sweep whose grid deliberately includes a failing point."""
+    return sweep({"a": [1, 2], "explode": [False, True]}, fake_runner,
+                 on_error="skip")
+
+
+def test_mixed_rows_format_does_not_raise():
+    # regression: format() took headers from rows[0] and indexed r[h];
+    # the first error row raised KeyError and, when rows[0] itself had
+    # errored, every measurement column vanished from the table
+    res = mixed_result()
+    text = res.format()
+    assert "score" in text and "error" in text
+    assert "boom" in text
+
+
+def test_mixed_rows_format_error_row_first():
+    # worst case of the old bug: rows[0] is the error row, so the old
+    # header scrape lost the measurement columns entirely
+    res = sweep({"explode": [True, False], "a": [1]}, fake_runner,
+                on_error="skip")
+    assert "error" in res.rows[0]
+    text = res.format()
+    assert "score" in text.splitlines()[0]
+    assert "error" in text.splitlines()[0]
+
+
+def test_mixed_rows_headers_union():
+    res = mixed_result()
+    headers = res.headers()
+    assert headers == ["a", "explode", "score", "error"]
+
+
+def test_mixed_rows_column_blanks():
+    # regression: column() indexed r[name] and raised KeyError on the
+    # first row missing the metric
+    res = mixed_result()
+    scores = res.column("score")
+    assert scores == [10, None, 20, None]
+    errors = res.column("error")
+    assert errors[0] is None and "boom" in errors[1]
+
+
+def test_mixed_rows_write_csv(tmp_path):
+    # regression: heterogeneous rows must CSV as a union of keys with
+    # blank missing cells — never a ValueError or shifted columns
+    res = mixed_result()
+    p = tmp_path / "mixed.csv"
+    write_csv(res, p)
+    with open(p, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 4
+    assert rows[0]["score"] == "10" and rows[0]["error"] == ""
+    assert rows[1]["score"] == "" and "boom" in rows[1]["error"]
+
+
+def test_mixed_rows_best_and_top():
+    res = mixed_result()
+    assert res.best("score")["a"] == 2
+    top = res.top("score", n=10)
+    assert [r["a"] for r in top] == [2, 1]
+    assert res.ok_rows() == [res.rows[0], res.rows[2]]
+
+
+# --------------------------------------------------------------------------
+# grid runs + the parameter-keyed cache
+# --------------------------------------------------------------------------
+
+def test_run_grid_skips_infeasible_corners():
+    grid = GridSpec(name="g", axes={"a": [1, 2], "explode": [False, True]},
+                    runner=fake_runner)
+    assert grid.size == 4
+    res = run_grid(grid, scale=None, cache_dir=None)
+    assert len(res.rows) == 4
+    assert len(res.ok_rows()) == 2
+
+
+def test_run_grid_caches_per_point(tmp_path):
+    from repro.bench.scales import TEST_SCALE
+
+    calls = []
+
+    def counting_runner(params):
+        calls.append(dict(params))
+        return {"score": params["a"]}
+
+    grid = GridSpec(name="counted", axes={"a": [1, 2, 3]},
+                    runner=counting_runner)
+    first = run_grid(grid, TEST_SCALE, cache_dir=tmp_path)
+    assert len(calls) == 3
+    second = run_grid(grid, TEST_SCALE, cache_dir=tmp_path)
+    assert len(calls) == 3  # all three points served from cache
+    assert second.rows == first.rows
+
+
+def test_run_grid_never_caches_failures(tmp_path):
+    from repro.bench.scales import TEST_SCALE
+
+    calls = []
+
+    def flaky_runner(params):
+        calls.append(dict(params))
+        raise RuntimeError("infeasible")
+
+    grid = GridSpec(name="flaky", axes={"a": [1]}, runner=flaky_runner)
+    run_grid(grid, TEST_SCALE, cache_dir=tmp_path)
+    run_grid(grid, TEST_SCALE, cache_dir=tmp_path)
+    assert len(calls) == 2  # failures re-evaluate every time
 
 
 def test_sweep_with_real_system():
